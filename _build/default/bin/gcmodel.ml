@@ -1,0 +1,180 @@
+(* gcmodel — command-line driver for the collector model.
+
+   Subcommands:
+     explore   exhaustive BFS over a configured instance
+     walk      randomized deep run
+     variants  list the named variants and their expectations
+     shapes    list the initial heap shapes
+     dump      print the initial state of a configured instance
+*)
+
+open Cmdliner
+
+let cfg_term =
+  let open Term in
+  let muts = Arg.(value & opt int 1 & info [ "muts" ] ~doc:"Number of mutators.") in
+  let refs = Arg.(value & opt int 3 & info [ "refs" ] ~doc:"Heap size (references).") in
+  let fields = Arg.(value & opt int 1 & info [ "fields" ] ~doc:"Fields per object.") in
+  let buf = Arg.(value & opt int 1 & info [ "buf" ] ~doc:"TSO store-buffer capacity.") in
+  let cycles =
+    Arg.(value & opt int 1 & info [ "cycles" ] ~doc:"Collector cycles (0 = unbounded).")
+  in
+  let ops =
+    Arg.(value & opt int 2 & info [ "ops" ] ~doc:"Heap-operation budget per mutator (0 = unbounded).")
+  in
+  let variant =
+    Arg.(value & opt string "paper" & info [ "variant" ] ~doc:"Collector variant (see $(b,variants)).")
+  in
+  let no_ops =
+    Arg.(value & opt_all string [] & info [ "disable" ] ~doc:"Disable a mutator op: load, store, alloc, discard, mfence.")
+  in
+  let build muts refs fields buf cycles ops variant no_ops =
+    let v =
+      match Core.Variants.by_name variant with
+      | Some v -> v
+      | None -> Fmt.failwith "unknown variant %s" variant
+    in
+    let cfg =
+      v.Core.Variants.tweak
+        {
+          Core.Config.default with
+          n_muts = muts;
+          n_refs = refs;
+          n_fields = fields;
+          buf_bound = buf;
+          max_cycles = cycles;
+          max_mut_ops = ops;
+        }
+    in
+    let dis name cfg =
+      match name with
+      | "load" -> { cfg with Core.Config.mut_load = false }
+      | "store" -> { cfg with Core.Config.mut_store = false }
+      | "alloc" -> { cfg with Core.Config.mut_alloc = false }
+      | "discard" -> { cfg with Core.Config.mut_discard = false }
+      | "mfence" -> { cfg with Core.Config.mut_mfence = false }
+      | s -> Fmt.failwith "unknown op %s" s
+    in
+    (List.fold_left (fun c n -> dis n c) cfg no_ops, v)
+  in
+  const build $ muts $ refs $ fields $ buf $ cycles $ ops $ variant $ no_ops
+
+let shape_term =
+  Arg.(value & opt string "single" & info [ "shape" ] ~doc:"Initial heap shape (see $(b,shapes)).")
+
+let safety_only =
+  Arg.(value & flag & info [ "safety-only" ] ~doc:"Check only the safety invariants.")
+
+let max_states =
+  Arg.(value & opt int 10_000_000 & info [ "max-states" ] ~doc:"State cap for exploration.")
+
+let model_of (cfg, _v) shape =
+  match Gcheap.Shapes.by_name ~n_refs:cfg.Core.Config.n_refs ~n_fields:cfg.Core.Config.n_fields shape with
+  | None -> Fmt.failwith "unknown shape %s" shape
+  | Some s -> Core.Model.make cfg s
+
+let invariants_of cfg safety_only =
+  let invs =
+    if safety_only then Core.Invariants.safety_invariants cfg else Core.Invariants.all cfg
+  in
+  List.map (fun i -> (i.Core.Invariants.name, i.Core.Invariants.check)) invs
+
+let report cfg (violation : _ Check.Trace.t option) =
+  match violation with
+  | None -> ()
+  | Some tr -> Fmt.pr "%a@." (Core.Dump.pp_trace cfg) tr
+
+let explore_cmd =
+  let run cv shape safety_only max_states =
+    let cfg, v = cv in
+    let model = model_of cv shape in
+    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d@."
+      v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
+      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops;
+    let o =
+      Check.Explore.run ~max_states ~invariants:(invariants_of cfg safety_only)
+        model.Core.Model.system
+    in
+    Fmt.pr "%a@." Check.Explore.pp_outcome o;
+    report cfg o.Check.Explore.violation
+  in
+  Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states)
+
+let walk_cmd =
+  let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let run cv shape safety_only steps seed =
+    let cfg, v = cv in
+    let model = model_of cv shape in
+    Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d@." v.Core.Variants.name shape steps seed;
+    let o =
+      Check.Random_walk.run ~seed ~steps ~invariants:(invariants_of cfg safety_only)
+        model.Core.Model.system
+    in
+    Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
+    report cfg o.Check.Random_walk.violation
+  in
+  Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed)
+
+let variants_cmd =
+  let run () =
+    List.iter
+      (fun v ->
+        Fmt.pr "%-32s %-16s %s@." v.Core.Variants.name
+          (match v.Core.Variants.expectation with
+          | Core.Variants.Safe -> "safe"
+          | Core.Variants.Unsafe -> "unsafe"
+          | Core.Variants.Conjectured_safe -> "conjectured-safe")
+          v.Core.Variants.description)
+      Core.Variants.all
+  in
+  Cmd.v (Cmd.info "variants" ~doc:"List collector variants.") Term.(const run $ const ())
+
+let shapes_cmd =
+  let run () =
+    List.iter
+      (fun (s : Gcheap.Shapes.t) ->
+        Fmt.pr "%-10s roots=%a@." s.Gcheap.Shapes.name
+          Fmt.(list ~sep:sp (brackets (list ~sep:comma int)))
+          s.Gcheap.Shapes.roots)
+      (Gcheap.Shapes.all ~n_refs:4 ~n_fields:1)
+  in
+  Cmd.v (Cmd.info "shapes" ~doc:"List initial heap shapes.") Term.(const run $ const ())
+
+let dump_cmd =
+  let run cv shape =
+    let cfg, _ = cv in
+    let model = model_of cv shape in
+    Fmt.pr "%a@." (Core.Dump.pp_state cfg) model.Core.Model.system
+  in
+  Cmd.v (Cmd.info "dump" ~doc:"Print the initial state.") Term.(const run $ cfg_term $ shape_term)
+
+let program_cmd =
+  (* Print a process's CIMP control skeleton — the model-side counterpart
+     of the paper's Figs. 2, 5 and 6, for eyeball correspondence. *)
+  let which =
+    Arg.(value & pos 0 string "gc" & info [] ~docv:"PROC" ~doc:"gc, mut, or sys.")
+  in
+  let run cv which =
+    let cfg, _ = cv in
+    let programs = Core.Model.programs cfg in
+    let com =
+      match which with
+      | "gc" -> List.nth programs Core.Config.pid_gc
+      | "sys" -> List.nth programs (Core.Config.pid_sys cfg)
+      | "mut" | "mut0" -> List.nth programs (Core.Config.pid_mut cfg 0)
+      | s -> Fmt.failwith "unknown process %s (expected gc, mut, sys)" s
+    in
+    Fmt.pr "%a@." Cimp.Pretty.pp com
+  in
+  Cmd.v
+    (Cmd.info "program" ~doc:"Pretty-print a process's CIMP program (cf. the paper's Figs. 2, 5, 6).")
+    Term.(const run $ cfg_term $ which)
+
+let () =
+  let info = Cmd.info "gcmodel" ~doc:"Executable model of the verified on-the-fly GC for x86-TSO." in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ explore_cmd; walk_cmd; variants_cmd; shapes_cmd; dump_cmd; program_cmd ]))

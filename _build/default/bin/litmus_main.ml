@@ -1,0 +1,48 @@
+(* litmus — run the x86-TSO litmus catalogue (experiment E9).
+
+   With no arguments, runs every test under both the TSO machine and the
+   SC baseline and checks the published classifications.  With test names,
+   runs just those and prints their full outcome sets. *)
+
+open Cmdliner
+
+let names = Arg.(value & pos_all string [] & info [] ~docv:"TEST")
+let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print full outcome sets.")
+
+let pp_outcomes ppf os =
+  Fmt.pf ppf "{%a}" (Fmt.list ~sep:Fmt.sp Tso.Litmus.pp_outcome) os
+
+let run names verbose =
+  let tests =
+    if names = [] then Tso.Catalog.all
+    else
+      List.map
+        (fun n ->
+          match List.find_opt (fun (t : Tso.Litmus.test) -> t.Tso.Litmus.name = n) Tso.Catalog.all with
+          | Some t -> t
+          | None -> Fmt.failwith "unknown test %s" n)
+        names
+  in
+  let verdicts = List.map Tso.Litmus.run tests in
+  List.iter
+    (fun (v : Tso.Litmus.verdict) ->
+      Fmt.pr "%a@." Tso.Litmus.pp_verdict v;
+      Fmt.pr "    %s@." v.Tso.Litmus.test.Tso.Litmus.description;
+      if verbose then begin
+        Fmt.pr "    TSO outcomes: %a@." pp_outcomes v.Tso.Litmus.tso_outcomes;
+        Fmt.pr "    SC outcomes:  %a@." pp_outcomes v.Tso.Litmus.sc_outcomes
+      end)
+    verdicts;
+  let bad = List.filter (fun v -> not v.Tso.Litmus.ok) verdicts in
+  if bad = [] then begin
+    Fmt.pr "all %d classifications match x86-TSO@." (List.length verdicts);
+    0
+  end
+  else begin
+    Fmt.pr "%d MISMATCHES@." (List.length bad);
+    1
+  end
+
+let () =
+  let info = Cmd.info "litmus" ~doc:"x86-TSO litmus tests against the TSO and SC machines." in
+  exit (Cmd.eval' (Cmd.v info Term.(const run $ names $ verbose)))

@@ -1,0 +1,1 @@
+examples/barrier_ablation.ml: Array Check Core Fmt List Sys

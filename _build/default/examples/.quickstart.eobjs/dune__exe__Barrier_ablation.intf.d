@@ -1,0 +1,1 @@
+examples/barrier_ablation.mli:

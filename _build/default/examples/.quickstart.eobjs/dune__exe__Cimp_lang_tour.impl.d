@@ -1,0 +1,1 @@
+examples/cimp_lang_tour.ml: Check Cimp_lang Fmt List String

@@ -1,0 +1,1 @@
+examples/cimp_lang_tour.mli:

@@ -1,0 +1,1 @@
+examples/list_workload.ml: Check Core Fmt Gcheap List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Check Cimp Core Fmt Gcheap List String

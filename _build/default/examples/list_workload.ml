@@ -1,0 +1,43 @@
+(* The paper's motivating workload shape on the abstract model: mutators
+   build and tear down linked structure while the collector cycles
+   concurrently, under both exhaustive and randomized scheduling.
+
+     dune exec examples/list_workload.exe
+
+   The chain heap is the structure behind Fig. 1: the collector's wavefront
+   crawls the chain while mutators load interior references into their
+   roots and overwrite edges (triggering both barriers), producing floating
+   garbage that the next cycle reclaims. *)
+
+let () =
+  (* exhaustive: chain of 3, loads and stores only, one cycle *)
+  let sc =
+    Core.Scenario.make ~label:"chain3" ~shape:"chain3" ~max_mut_ops:3
+      ~tweak:(fun c -> { c with Core.Config.mut_alloc = false; mut_discard = false })
+      ()
+  in
+  Fmt.pr "exhaustive (chain of 3, 1 mutator, loads+stores, 1 cycle):@.";
+  let o = Core.Scenario.explore ~max_states:10_000_000 sc in
+  Fmt.pr "  %a@.@." Check.Explore.pp_outcome o;
+
+  (* randomized: bigger chain, full repertoire, unbounded cycles *)
+  let sc =
+    Core.Scenario.make ~label:"deep" ~n_refs:5 ~n_fields:2 ~shape:"chain3" ~buf_bound:2
+      ~max_cycles:0 ~max_mut_ops:0 ~mut_mfence:true ()
+  in
+  Fmt.pr "randomized (5 refs, 2 fields, unbounded cycles, full repertoire):@.";
+  List.iter
+    (fun seed ->
+      let o = Core.Scenario.random_walk ~seed ~steps:50_000 sc in
+      Fmt.pr "  seed %2d: %a@." seed Check.Random_walk.pp_outcome o)
+    [ 1; 2; 3; 4 ];
+
+  (* how much floating garbage shows up: drive one scheduled run and count
+     frees per cycle via the dangling ghost (none expected) and heap sizes *)
+  let model = Core.Scenario.model sc in
+  let cfg = sc.Core.Scenario.cfg in
+  let sd = Core.Model.sys_data model.Core.Model.system cfg in
+  Fmt.pr "@.initial heap: %d objects, roots %a@."
+    (List.length (Gcheap.Heap.domain sd.Core.State.s_mem.Core.State.heap))
+    Fmt.(list ~sep:comma int)
+    (Core.Model.mut_data model.Core.Model.system cfg 0).Core.State.m_roots

@@ -1,0 +1,1 @@
+lib/check/explore.ml: Cimp Fingerprint Fmt Hashtbl List Queue Trace Unix

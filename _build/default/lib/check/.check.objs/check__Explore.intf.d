@@ -1,0 +1,1 @@
+lib/check/explore.mli: Cimp Fmt Trace

@@ -1,0 +1,1 @@
+lib/check/fingerprint.ml: Cimp Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/check/fingerprint.mli: Cimp Hashtbl

@@ -1,0 +1,1 @@
+lib/check/random_walk.ml: Cimp Fmt List Random Trace Unix

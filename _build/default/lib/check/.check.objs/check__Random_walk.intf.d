@@ -1,0 +1,1 @@
+lib/check/random_walk.mli: Cimp Fmt Trace

@@ -1,0 +1,1 @@
+lib/check/trace.ml: Array Cimp Fmt List

@@ -1,0 +1,1 @@
+lib/check/trace.mli: Cimp Fmt

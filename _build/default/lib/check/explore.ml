@@ -1,0 +1,122 @@
+(* Exhaustive explicit-state exploration.
+
+   Breadth-first search over the CIMP system's reachable states, evaluating
+   every supplied invariant at every state.  This is the executable
+   substitute for the paper's induction over the reachable-state set
+   (Section 3.2): on a bounded instance it *is* that induction, carried out
+   by enumeration, and it additionally produces a shortest counterexample
+   schedule when an invariant fails. *)
+
+type ('a, 'v, 's) outcome = {
+  states : int;  (* distinct states visited *)
+  transitions : int;  (* transitions traversed *)
+  depth : int;  (* BFS depth reached *)
+  deadlocks : int;  (* states with no successors *)
+  truncated : bool;  (* hit max_states before closure *)
+  violation : ('a, 'v, 's) Trace.t option;  (* first (shortest) violation *)
+  elapsed : float;  (* seconds *)
+  covered : (int * Cimp.Label.t) list;
+      (* (pid, label) pairs that fired, when coverage tracking is on:
+         program locations never exercised indicate dead model code *)
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "states=%d transitions=%d depth=%d deadlocks=%d%s %s (%.2fs)" o.states o.transitions
+    o.depth o.deadlocks
+    (if o.truncated then " TRUNCATED" else "")
+    (match o.violation with None -> "all invariants hold" | Some t -> "VIOLATION: " ^ t.Trace.broken)
+    o.elapsed
+
+(* BFS.  [invariants] are (name, predicate) pairs checked at every state,
+   including the initial one.  Stops at the first violation (BFS order
+   makes it a shortest one).
+
+   With [normal_form] (default), states are explored in the definite-tau
+   normal form (Cimp.System.normalize): runs of deterministic local
+   register/control steps — unobservable by other processes — execute
+   eagerly, so invariants are evaluated at atomic-action boundaries only.
+   This is the evaluation-context atomicity coarsening of Section 3. *)
+let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false) ~invariants
+    initial =
+  let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+  let initial = norm initial in
+  let coverage = Hashtbl.create (if track_coverage then 512 else 1) in
+  let record_event ev =
+    if track_coverage then begin
+      match ev with
+      | Cimp.System.Tau (p, l) -> Hashtbl.replace coverage (p, l) ()
+      | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
+        Hashtbl.replace coverage (requester, req_label) ();
+        Hashtbl.replace coverage (responder, resp_label) ()
+    end
+  in
+  let t0 = Unix.gettimeofday () in
+  let seen = Fingerprint.Table.create 65536 in
+  (* parent pointers for trace reconstruction *)
+  let parent = Fingerprint.Table.create 65536 in
+  let q = Queue.create () in
+  let states = ref 0 in
+  let transitions = ref 0 in
+  let deadlocks = ref 0 in
+  let depth = ref 0 in
+  let truncated = ref false in
+  let violation = ref None in
+  let check_state sys =
+    match List.find_opt (fun (_, p) -> not (p sys)) invariants with
+    | None -> None
+    | Some (name, _) -> Some name
+  in
+  let reconstruct fp broken =
+    (* walk parent pointers back to the root, then replay forward *)
+    let rec back fp acc =
+      match Fingerprint.Table.find_opt parent fp with
+      | None -> acc
+      | Some (pfp, event, state) -> back pfp ({ Trace.event; state } :: acc)
+    in
+    { Trace.initial; steps = back fp []; broken }
+  in
+  let enqueue ~from_fp ~event ~d sys =
+    let fp = Fingerprint.of_system sys in
+    if not (Fingerprint.Table.mem seen fp) then begin
+      Fingerprint.Table.add seen fp ();
+      (match (from_fp, event) with
+      | Some pfp, Some ev -> Fingerprint.Table.add parent fp (pfp, ev, sys)
+      | _ -> ());
+      incr states;
+      if d > !depth then depth := d;
+      (match !violation with
+      | Some _ -> ()
+      | None -> (
+        match check_state sys with
+        | Some name -> violation := Some (reconstruct fp name)
+        | None -> ()));
+      Queue.add (fp, sys, d) q
+    end
+  in
+  enqueue ~from_fp:None ~event:None ~d:0 initial;
+  let continue = ref true in
+  while !continue && not (Queue.is_empty q) && !violation = None do
+    let fp, sys, d = Queue.pop q in
+    let succs = Cimp.System.steps sys in
+    if succs = [] then incr deadlocks;
+    List.iter
+      (fun (event, sys') ->
+        incr transitions;
+        record_event event;
+        if !states < max_states then
+          enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1) (norm sys')
+        else truncated := true)
+      succs;
+    if !states >= max_states then truncated := true;
+    if !truncated && Queue.is_empty q then continue := false
+  done;
+  {
+    states = !states;
+    transitions = !transitions;
+    depth = !depth;
+    deadlocks = !deadlocks;
+    truncated = !truncated;
+    violation = !violation;
+    elapsed = Unix.gettimeofday () -. t0;
+    covered = Hashtbl.fold (fun k () acc -> k :: acc) coverage [];
+  }

@@ -1,0 +1,41 @@
+(** Exhaustive explicit-state exploration: breadth-first search over a CIMP
+    system's reachable states, evaluating invariants at every state.
+
+    On a bounded instance this is the executable substitute for the paper's
+    induction over the reachable-state set (Section 3.2), and it produces a
+    shortest counterexample schedule when an invariant fails. *)
+
+type ('a, 'v, 's) outcome = {
+  states : int;  (** distinct states visited *)
+  transitions : int;  (** transitions traversed *)
+  depth : int;  (** BFS depth reached *)
+  deadlocks : int;  (** states with no successors *)
+  truncated : bool;  (** hit [max_states] before closing the state space *)
+  violation : ('a, 'v, 's) Trace.t option;  (** first (shortest) violation *)
+  elapsed : float;  (** wall-clock seconds *)
+  covered : (int * Cimp.Label.t) list;
+      (** (pid, label) pairs that fired (empty unless [track_coverage]);
+          program locations never exercised indicate dead model code *)
+}
+
+val pp_outcome : ('a, 'v, 's) outcome Fmt.t
+
+(** [run ~invariants initial] explores from [initial].  Invariants are
+    (name, predicate) pairs checked at every state, including the initial
+    one; exploration stops at the first violation, which BFS order makes a
+    shortest one.
+
+    @param max_states cap on distinct states (default 1,000,000); hitting
+           it sets [truncated].
+    @param normal_form explore {!Cimp.System.normalize} normal forms
+           (default [true]): runs of deterministic local steps execute
+           eagerly, so invariants are evaluated at atomic-action
+           boundaries only.
+    @param track_coverage record which (pid, label) pairs fire. *)
+val run :
+  ?max_states:int ->
+  ?normal_form:bool ->
+  ?track_coverage:bool ->
+  invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
+  ('a, 'v, 's) Cimp.System.t ->
+  ('a, 'v, 's) outcome

@@ -1,0 +1,30 @@
+(* Canonical fingerprints of global CIMP states.
+
+   Control state is identified by each process's label spine (commands
+   themselves carry closures and cannot be compared); data states must be
+   canonical plain OCaml data — everything in the GC model is ints, bools,
+   lists, options and flat variants — so polymorphic equality and hashing
+   are sound.  The pair is the key for the explorer's seen-set. *)
+
+type t = { control : Cimp.Label.t list list; data : Stdlib.Obj.t list }
+
+(* The data payloads are stashed as Obj.t to keep this module polymorphic in
+   the system's state type; they are only ever consumed by the polymorphic
+   [compare]/[Hashtbl.hash], never re-projected. *)
+let of_system (sys : ('a, 'v, 's) Cimp.System.t) : t =
+  let n = Cimp.System.n_procs sys in
+  let control = Cimp.System.control_fingerprint sys in
+  let data =
+    List.init n (fun p -> Stdlib.Obj.repr (Cimp.System.proc sys p).Cimp.Com.data)
+  in
+  { control; data }
+
+let equal (a : t) (b : t) = Stdlib.compare a b = 0
+let hash (a : t) = Hashtbl.hash_param 64 256 a
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

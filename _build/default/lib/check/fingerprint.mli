@@ -1,0 +1,14 @@
+(** Canonical fingerprints of global CIMP states.
+
+    Control state is identified by the label spine of each process's frame
+    stack; data states must be canonical plain OCaml data (no closures, no
+    cycles, canonical collection representations), which everything in the
+    GC model is — then polymorphic comparison and hashing are sound. *)
+
+type t
+
+val of_system : ('a, 'v, 's) Cimp.System.t -> t
+val equal : t -> t -> bool
+val hash : t -> int
+
+module Table : Hashtbl.S with type key = t

@@ -1,0 +1,58 @@
+(* Randomized deep runs: where exhaustive exploration is infeasible (larger
+   heaps, more mutators), schedule transitions uniformly at random for many
+   steps, evaluating the invariants at every state.  Probabilistic rather
+   than exhaustive, but it drives the model through thousands of collection
+   cycles on instances the BFS cannot close. *)
+
+type ('a, 'v, 's) outcome = {
+  steps_taken : int;
+  runs : int;  (* walks performed (restarts on dead ends) *)
+  violation : ('a, 'v, 's) Trace.t option;
+  elapsed : float;
+}
+
+let pp_outcome ppf o =
+  Fmt.pf ppf "steps=%d runs=%d %s (%.2fs)" o.steps_taken o.runs
+    (match o.violation with None -> "all invariants hold" | Some t -> "VIOLATION: " ^ t.Trace.broken)
+    o.elapsed
+
+let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form = true)
+    ~invariants initial =
+  let t0 = Unix.gettimeofday () in
+  let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+  let initial = norm initial in
+  let rng = Random.State.make [| seed |] in
+  let check_state sys =
+    match List.find_opt (fun (_, p) -> not (p sys)) invariants with
+    | None -> None
+    | Some (name, _) -> Some name
+  in
+  let violation = ref None in
+  let taken = ref 0 in
+  let runs = ref 0 in
+  (match check_state initial with
+  | Some name -> violation := Some { Trace.initial; steps = []; broken = name }
+  | None -> ());
+  while !violation = None && !taken < steps do
+    incr runs;
+    let sys = ref initial in
+    let len = ref 0 in
+    let rev_steps = ref [] in
+    let continue = ref true in
+    while !continue && !violation = None && !taken < steps && !len < max_run_length do
+      match Cimp.System.steps !sys with
+      | [] -> continue := false (* dead end; restart *)
+      | succs ->
+        let event, sys' = List.nth succs (Random.State.int rng (List.length succs)) in
+        let sys' = norm sys' in
+        sys := sys';
+        incr taken;
+        incr len;
+        rev_steps := { Trace.event; state = sys' } :: !rev_steps;
+        (match check_state sys' with
+        | Some name ->
+          violation := Some { Trace.initial; steps = List.rev !rev_steps; broken = name }
+        | None -> ())
+    done
+  done;
+  { steps_taken = !taken; runs = !runs; violation = !violation; elapsed = Unix.gettimeofday () -. t0 }

@@ -1,0 +1,27 @@
+(** Randomized deep runs: schedule transitions uniformly at random,
+    checking invariants at every state.  Probabilistic where exhaustive
+    exploration is infeasible (larger heaps, more mutators, unbounded
+    cycles); drives the model through thousands of collection cycles. *)
+
+type ('a, 'v, 's) outcome = {
+  steps_taken : int;
+  runs : int;  (** walks performed (restarts on dead ends) *)
+  violation : ('a, 'v, 's) Trace.t option;
+  elapsed : float;
+}
+
+val pp_outcome : ('a, 'v, 's) outcome Fmt.t
+
+(** [run ~invariants initial] walks until [steps] scheduled steps have been
+    taken or an invariant fails.  Deterministic in [seed].
+
+    @param max_run_length restart after this many steps in one walk
+    @param normal_form as in {!Explore.run} *)
+val run :
+  ?seed:int ->
+  ?steps:int ->
+  ?max_run_length:int ->
+  ?normal_form:bool ->
+  invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
+  ('a, 'v, 's) Cimp.System.t ->
+  ('a, 'v, 's) outcome

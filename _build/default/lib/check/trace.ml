@@ -1,0 +1,29 @@
+(* Counterexample traces: the sequence of scheduled events from the initial
+   state to a state violating an invariant. *)
+
+type ('a, 'v, 's) step = {
+  event : Cimp.System.event;
+  state : ('a, 'v, 's) Cimp.System.t;
+}
+
+type ('a, 'v, 's) t = {
+  initial : ('a, 'v, 's) Cimp.System.t;
+  steps : ('a, 'v, 's) step list;  (* in execution order *)
+  broken : string;  (* name of the violated invariant *)
+}
+
+let length tr = List.length tr.steps
+
+let final tr =
+  match List.rev tr.steps with [] -> tr.initial | last :: _ -> last.state
+
+(* Render just the event schedule; state dumps are the callers' business
+   (they know the data-state type). *)
+let pp ppf tr =
+  let names =
+    Array.init (Cimp.System.n_procs tr.initial) (Cimp.System.name tr.initial)
+  in
+  Fmt.pf ppf "@[<v>violated: %s (after %d steps)@,%a@]" tr.broken (length tr)
+    (Fmt.list ~sep:Fmt.cut (fun ppf (i, s) ->
+         Fmt.pf ppf "%3d. %a" i (Cimp.System.pp_event names) s.event))
+    (List.mapi (fun i s -> (i + 1, s)) tr.steps)

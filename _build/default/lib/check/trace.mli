@@ -1,0 +1,19 @@
+(** Counterexample traces: the schedule of events from the initial state to
+    a state violating an invariant. *)
+
+type ('a, 'v, 's) step = { event : Cimp.System.event; state : ('a, 'v, 's) Cimp.System.t }
+
+type ('a, 'v, 's) t = {
+  initial : ('a, 'v, 's) Cimp.System.t;
+  steps : ('a, 'v, 's) step list;  (** in execution order *)
+  broken : string;  (** name of the violated invariant *)
+}
+
+val length : ('a, 'v, 's) t -> int
+
+(** The violating state ([initial] if the trace is empty). *)
+val final : ('a, 'v, 's) t -> ('a, 'v, 's) Cimp.System.t
+
+(** Render the event schedule (state dumps are the callers' business:
+    they know the data-state type — see {!Core.Dump.pp_trace}). *)
+val pp : ('a, 'v, 's) t Fmt.t

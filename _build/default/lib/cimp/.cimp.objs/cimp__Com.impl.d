@@ -1,0 +1,1 @@
+lib/cimp/com.ml: Hashtbl Label List

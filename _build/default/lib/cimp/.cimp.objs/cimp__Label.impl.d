@@ -1,0 +1,1 @@
+lib/cimp/label.ml: Fmt Printf String

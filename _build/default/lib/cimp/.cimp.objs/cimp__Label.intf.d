@@ -1,0 +1,1 @@
+lib/cimp/label.mli: Fmt

@@ -1,0 +1,1 @@
+lib/cimp/pretty.ml: Com Fmt Label

@@ -1,0 +1,1 @@
+lib/cimp/pretty.mli: Com Fmt

@@ -1,0 +1,1 @@
+lib/cimp/system.ml: Array Com Fmt Label List

@@ -1,0 +1,1 @@
+lib/cimp/system.mli: Com Fmt Label

@@ -1,0 +1,21 @@
+(* Program-location labels.
+
+   Every CIMP command carries a label, written [{l}] in the paper (Fig. 7).
+   Labels serve two purposes: they anchor the [at p l] local assertions of
+   Section 3.2, and they let the model checker fingerprint control state
+   without inspecting the (closure-bearing) command syntax.  Labels must be
+   unique within a program; [Cimp.Com.check_labels] enforces this. *)
+
+type t = string
+
+let compare = String.compare
+let equal = String.equal
+let pp = Fmt.string
+
+(* A small generator for machine-made labels, used when expanding a template
+   (e.g. the [mark] code sequence) several times within one program. *)
+let fresh_counter = ref 0
+
+let fresh prefix =
+  incr fresh_counter;
+  Printf.sprintf "%s#%d" prefix !fresh_counter

@@ -1,0 +1,17 @@
+(** Program-location labels.
+
+    Every CIMP command carries a label, written [{l}] in the paper (Fig. 7).
+    Labels anchor the paper's [at p l] local assertions and let the model
+    checker fingerprint control state; they must be unique within a
+    process's program. *)
+
+type t = string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : t Fmt.t
+
+(** [fresh prefix] generates a label that is unique for the lifetime of the
+    process (a global counter), for expanding code templates several times
+    within one program. *)
+val fresh : string -> t

@@ -1,0 +1,8 @@
+(** Structural pretty-printer for CIMP commands: renders the control
+    skeleton and labels (expressions are shallowly embedded closures).
+    Used to eyeball that a generated program matches the paper's
+    pseudo-code ([gcmodel program]) and to read stack states. *)
+
+val pp : ('a, 'v, 's) Com.t Fmt.t
+val pp_stack : ('a, 'v, 's) Com.t list Fmt.t
+val to_string : ('a, 'v, 's) Com.t -> string

@@ -1,0 +1,1 @@
+lib/cimp_lang/compile.ml: Array Ast Cimp List Parser Printf Typecheck

@@ -1,0 +1,1 @@
+lib/cimp_lang/compile.mli: Ast Cimp

@@ -1,0 +1,1 @@
+lib/cimp_lang/lexer.ml: List Printf String Token

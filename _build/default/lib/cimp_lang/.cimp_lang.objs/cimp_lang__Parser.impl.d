@@ -1,0 +1,1 @@
+lib/cimp_lang/parser.ml: Ast Fmt Lexer List Token

@@ -1,0 +1,1 @@
+lib/cimp_lang/parser.mli: Ast Lexer

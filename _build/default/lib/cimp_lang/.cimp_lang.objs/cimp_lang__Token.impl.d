@@ -1,0 +1,1 @@
+lib/cimp_lang/token.ml: Fmt

@@ -1,0 +1,1 @@
+lib/cimp_lang/typecheck.ml: Ast Fmt List

@@ -1,0 +1,88 @@
+(* Abstract syntax of the CIMP concrete language.
+
+   Values are ints and bools; channels are named.  [Send] is CIMP's REQUEST
+   (the message is a channel name paired with a value computed from local
+   state; the optional binder receives the reply), [Recv] is RESPONSE (the
+   binder receives the request payload, the reply expression is evaluated
+   in the updated local state).  [Havoc] is data non-determinism; [Choose]
+   is control non-determinism (external choice, committed at the first
+   action of a branch). *)
+
+type value = V_int of int | V_bool of bool
+
+let pp_value ppf = function V_int n -> Fmt.int ppf n | V_bool b -> Fmt.bool ppf b
+
+type binop = Add | Sub | Mul | Eq | Neq | Lt | Le | Gt | Ge | And | Or
+
+type expr =
+  | E_int of int
+  | E_bool of bool
+  | E_var of string
+  | E_binop of binop * expr * expr
+  | E_not of expr
+
+type stmt =
+  | S_skip
+  | S_var of string * expr  (* declaration with initializer *)
+  | S_assign of string * expr
+  | S_if of expr * block * block
+  | S_while of expr * block
+  | S_loop of block
+  | S_choose of block list
+  | S_send of string * expr * string option  (* channel, payload, reply binder *)
+  | S_recv of string * string * expr  (* channel, request binder, reply expr *)
+  | S_havoc of string * expr * expr  (* var, inclusive range *)
+  | S_assert of expr
+
+and block = stmt list
+
+type process = { name : string; body : block }
+
+type program = process list
+
+let pp_binop ppf op =
+  Fmt.string ppf
+    (match op with
+    | Add -> "+"
+    | Sub -> "-"
+    | Mul -> "*"
+    | Eq -> "=="
+    | Neq -> "!="
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | And -> "&&"
+    | Or -> "||")
+
+let rec pp_expr ppf = function
+  | E_int n -> Fmt.int ppf n
+  | E_bool b -> Fmt.bool ppf b
+  | E_var x -> Fmt.string ppf x
+  | E_binop (op, a, b) -> Fmt.pf ppf "(%a %a %a)" pp_expr a pp_binop op pp_expr b
+  | E_not e -> Fmt.pf ppf "!%a" pp_expr e
+
+let rec pp_stmt ppf = function
+  | S_skip -> Fmt.string ppf "skip;"
+  | S_var (x, e) -> Fmt.pf ppf "var %s := %a;" x pp_expr e
+  | S_assign (x, e) -> Fmt.pf ppf "%s := %a;" x pp_expr e
+  | S_if (e, t, []) -> Fmt.pf ppf "@[<v2>if %a {@,%a@]@,}" pp_expr e pp_block t
+  | S_if (e, t, f) ->
+    Fmt.pf ppf "@[<v2>if %a {@,%a@]@,@[<v2>} else {@,%a@]@,}" pp_expr e pp_block t pp_block f
+  | S_while (e, b) -> Fmt.pf ppf "@[<v2>while %a {@,%a@]@,}" pp_expr e pp_block b
+  | S_loop b -> Fmt.pf ppf "@[<v2>loop {@,%a@]@,}" pp_block b
+  | S_choose [] -> Fmt.string ppf "choose { }"
+  | S_choose (b :: bs) ->
+    Fmt.pf ppf "@[<v2>choose {@,%a@]@,}" pp_block b;
+    List.iter (fun b -> Fmt.pf ppf " @[<v2>or {@,%a@]@,}" pp_block b) bs
+  | S_send (ch, e, None) -> Fmt.pf ppf "send %s(%a);" ch pp_expr e
+  | S_send (ch, e, Some x) -> Fmt.pf ppf "send %s(%a) -> %s;" ch pp_expr e x
+  | S_recv (ch, x, reply) -> Fmt.pf ppf "recv %s(%s) reply %a;" ch x pp_expr reply
+  | S_havoc (x, lo, hi) -> Fmt.pf ppf "havoc %s in %a .. %a;" x pp_expr lo pp_expr hi
+  | S_assert e -> Fmt.pf ppf "assert %a;" pp_expr e
+
+and pp_block ppf b = Fmt.(list ~sep:cut pp_stmt) ppf b
+
+let pp_process ppf p = Fmt.pf ppf "@[<v2>process %s {@,%a@]@,}" p.name pp_block p.body
+
+let pp_program ppf prog = Fmt.(list ~sep:(any "@,@,") pp_process) ppf prog

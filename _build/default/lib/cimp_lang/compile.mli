@@ -1,0 +1,34 @@
+(** Compilation of the CIMP concrete language onto the core CIMP
+    semantics: local states are variable environments, rendezvous messages
+    are (channel, value) pairs.  [assert] raises a reserved flag that
+    {!assertions_hold} observes — checker-visible properties are written in
+    the surface language. *)
+
+type value = Ast.value
+type env = (string * value) list
+type msg = string * value
+
+type com = (msg, value, env) Cimp.Com.t
+type system = (msg, value, env) Cimp.System.t
+
+exception Runtime of string
+
+val eval : env -> Ast.expr -> value
+(** @raise Runtime on unbound variables or type confusion (the typechecker
+    prevents both for checked programs). *)
+
+val compile_process : Ast.process -> com
+(** Labels are [name:k:kind], unique within the process. *)
+
+val initial_env : env
+
+val system : Ast.program -> system
+(** Typecheck and compile a whole program. *)
+
+val assertions_hold : system -> bool
+(** The invariant exported to the checker: no process tripped an assert. *)
+
+val of_source : string -> system
+(** Parse, typecheck, compile. *)
+
+val assert_flag : string

@@ -1,0 +1,124 @@
+(* Canned CIMP-language programs used by the Fig. 7/8 experiments, the
+   tests, and the documentation.  Each is a (name, source, note) triple. *)
+
+let ping_pong =
+  ( "ping-pong",
+    {|
+process ping {
+  var n := 0;
+  while n < 3 {
+    send ping(n) -> n;
+  }
+  assert n >= 3;
+}
+
+process pong {
+  var seen := 0;
+  loop {
+    recv ping(x) reply x + 1;
+    seen := seen + 1;
+  }
+}
+|},
+    "a request/response pair exercising the rendezvous rule of Fig. 8" )
+
+let counter_race =
+  ( "counter-race",
+    {|
+process alice {
+  send read(0) -> a;
+  send write(a + 1) -> a;
+}
+
+process bob {
+  send read(0) -> b;
+  send write(b + 1) -> b;
+}
+
+process cell {
+  var v := 0;
+  loop {
+    choose {
+      recv read(x) reply v;
+    } or {
+      recv write(w) reply w;
+      v := w;
+    }
+  }
+}
+|},
+    "the classic lost-update race: interleaving both reads before both writes loses one increment"
+  )
+
+let nondet_choice =
+  ( "nondet-choice",
+    {|
+process chooser {
+  var x := 0;
+  havoc x in 1 .. 3;
+  choose {
+    assert x >= 1;
+  } or {
+    assert x <= 3;
+  }
+}
+|},
+    "data non-determinism (havoc) combined with external choice" )
+
+let assert_fail =
+  ( "assert-fail",
+    {|
+process doomed {
+  var x := 0;
+  havoc x in 0 .. 2;
+  assert x != 2;
+}
+|},
+    "a failing assertion the checker must find (x = 2 is reachable)" )
+
+let handshake_sketch =
+  ( "handshake-sketch",
+    {|
+# A miniature of the collector's soft handshake (Fig. 4): the gc raises a
+# bit at the system, the mutator polls for it and acknowledges; the gc
+# waits for the acknowledgement.
+process gc {
+  send raise(1) -> ack;
+  var seen := 0;
+  while seen == 0 {
+    send poll(0) -> seen;
+  }
+  assert seen == 1;
+}
+
+process mut {
+  var pending := 0;
+  while pending == 0 {
+    send check(0) -> pending;
+  }
+  send ack(1) -> pending;
+}
+
+process sys {
+  var bit := 0;
+  var done := 0;
+  loop {
+    choose {
+      recv raise(x) reply x;
+      bit := 1;
+    } or {
+      recv check(x) reply bit;
+    } or {
+      recv ack(x) reply x;
+      done := 1;
+    } or {
+      recv poll(x) reply done;
+    }
+  }
+}
+|},
+    "three-party rendezvous mimicking the handshake anatomy of Fig. 4" )
+
+let all = [ ping_pong; counter_race; nondet_choice; assert_fail; handshake_sketch ]
+
+let by_name n = List.find_opt (fun (name, _, _) -> name = n) all

@@ -1,0 +1,15 @@
+(** Canned CIMP-language programs used by the Fig. 7/8 experiments, tests
+    and documentation: (name, source, note) triples. *)
+
+val ping_pong : string * string * string
+val counter_race : string * string * string
+val nondet_choice : string * string * string
+
+val assert_fail : string * string * string
+(** A failing assertion the checker must find. *)
+
+val handshake_sketch : string * string * string
+(** Three-party rendezvous mimicking the handshake anatomy of Fig. 4. *)
+
+val all : (string * string * string) list
+val by_name : string -> (string * string * string) option

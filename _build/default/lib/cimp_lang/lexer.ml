@@ -1,0 +1,111 @@
+(* Hand-rolled lexer for the CIMP concrete syntax.  Produces tokens with
+   line/column positions for error reporting.  Comments run from '#' (or
+   '//') to end of line. *)
+
+type pos = { line : int; col : int }
+
+type located = { token : Token.t; pos : pos }
+
+exception Error of string * pos
+
+let error msg pos = raise (Error (msg, pos))
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable bol : int }
+
+let make src = { src; off = 0; line = 1; bol = 0 }
+
+let pos_of c = { line = c.line; col = c.off - c.bol + 1 }
+
+let peek c = if c.off < String.length c.src then Some c.src.[c.off] else None
+
+let peek2 c = if c.off + 1 < String.length c.src then Some c.src.[c.off + 1] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+    c.line <- c.line + 1;
+    c.bol <- c.off + 1
+  | _ -> ());
+  c.off <- c.off + 1
+
+let is_digit ch = ch >= '0' && ch <= '9'
+let is_ident_start ch = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || ch = '_'
+let is_ident ch = is_ident_start ch || is_digit ch
+
+let rec skip_trivia c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance c;
+    skip_trivia c
+  | Some '#' ->
+    skip_line c;
+    skip_trivia c
+  | Some '/' when peek2 c = Some '/' ->
+    skip_line c;
+    skip_trivia c
+  | _ -> ()
+
+and skip_line c =
+  match peek c with
+  | Some '\n' | None -> ()
+  | Some _ ->
+    advance c;
+    skip_line c
+
+let lex_number c =
+  let start = c.off in
+  while (match peek c with Some ch -> is_digit ch | None -> false) do
+    advance c
+  done;
+  Token.INT (int_of_string (String.sub c.src start (c.off - start)))
+
+let lex_word c =
+  let start = c.off in
+  while (match peek c with Some ch -> is_ident ch | None -> false) do
+    advance c
+  done;
+  let word = String.sub c.src start (c.off - start) in
+  match Token.keyword_of_string word with Some kw -> kw | None -> Token.IDENT word
+
+let next c : located =
+  skip_trivia c;
+  let pos = pos_of c in
+  let simple tok = advance c; tok in
+  let two tok = advance c; advance c; tok in
+  let token =
+    match peek c with
+    | None -> Token.EOF
+    | Some ch when is_digit ch -> lex_number c
+    | Some ch when is_ident_start ch -> lex_word c
+    | Some '{' -> simple Token.LBRACE
+    | Some '}' -> simple Token.RBRACE
+    | Some '(' -> simple Token.LPAREN
+    | Some ')' -> simple Token.RPAREN
+    | Some ';' -> simple Token.SEMI
+    | Some '+' -> simple Token.PLUS
+    | Some '*' -> simple Token.STAR
+    | Some ':' when peek2 c = Some '=' -> two Token.ASSIGN
+    | Some '-' when peek2 c = Some '>' -> two Token.ARROW
+    | Some '-' -> simple Token.MINUS
+    | Some '.' when peek2 c = Some '.' -> two Token.DOTDOT
+    | Some '=' when peek2 c = Some '=' -> two Token.EQ
+    | Some '!' when peek2 c = Some '=' -> two Token.NEQ
+    | Some '!' -> simple Token.BANG
+    | Some '<' when peek2 c = Some '=' -> two Token.LE
+    | Some '<' -> simple Token.LT
+    | Some '>' when peek2 c = Some '=' -> two Token.GE
+    | Some '>' -> simple Token.GT
+    | Some '&' when peek2 c = Some '&' -> two Token.ANDAND
+    | Some '|' when peek2 c = Some '|' -> two Token.OROR
+    | Some ch -> error (Printf.sprintf "unexpected character %C" ch) pos
+  in
+  { token; pos }
+
+(* Tokenize a whole source string. *)
+let tokenize src =
+  let c = make src in
+  let rec go acc =
+    let t = next c in
+    if t.token = Token.EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,266 @@
+(* Recursive-descent parser for the CIMP concrete syntax.
+
+   Grammar (EBNF):
+
+     program  ::= process*
+     process  ::= "process" IDENT block
+     block    ::= "{" stmt* "}"
+     stmt     ::= "skip" ";"
+                | "var" IDENT ":=" expr ";"
+                | IDENT ":=" expr ";"
+                | "if" expr block ("else" block)?
+                | "while" expr block
+                | "loop" block
+                | "choose" block ("or" block)+
+                | "send" IDENT "(" expr ")" ("->" IDENT)? ";"
+                | "recv" IDENT "(" IDENT ")" "reply" expr ";"
+                | "havoc" IDENT "in" expr ".." expr ";"
+                | "assert" expr ";"
+     expr     ::= orexp
+     orexp    ::= andexp ("||" andexp)*
+     andexp   ::= cmpexp ("&&" cmpexp)*
+     cmpexp   ::= addexp (("=="|"!="|"<"|"<="|">"|">=") addexp)?
+     addexp   ::= mulexp (("+"|"-") mulexp)*
+     mulexp   ::= unary ("*" unary)*
+     unary    ::= "!" unary | "-" unary | atom
+     atom     ::= INT | "true" | "false" | IDENT | "(" expr ")"
+*)
+
+exception Error of string * Lexer.pos
+
+type t = { mutable toks : Lexer.located list }
+
+let error p msg =
+  let pos =
+    match p.toks with { Lexer.pos; _ } :: _ -> pos | [] -> { Lexer.line = 0; col = 0 }
+  in
+  raise (Error (msg, pos))
+
+let peek p = match p.toks with { Lexer.token; _ } :: _ -> token | [] -> Token.EOF
+
+let advance p = match p.toks with _ :: rest -> p.toks <- rest | [] -> ()
+
+let expect p tok =
+  if peek p = tok then advance p
+  else error p (Fmt.str "expected '%a', found '%a'" Token.pp tok Token.pp (peek p))
+
+let expect_ident p =
+  match peek p with
+  | Token.IDENT x ->
+    advance p;
+    x
+  | t -> error p (Fmt.str "expected identifier, found '%a'" Token.pp t)
+
+(* -- Expressions ---------------------------------------------------------- *)
+
+let rec parse_expr p = parse_or p
+
+and parse_or p =
+  let lhs = parse_and p in
+  if peek p = Token.OROR then begin
+    advance p;
+    Ast.E_binop (Ast.Or, lhs, parse_or p)
+  end
+  else lhs
+
+and parse_and p =
+  let lhs = parse_cmp p in
+  if peek p = Token.ANDAND then begin
+    advance p;
+    Ast.E_binop (Ast.And, lhs, parse_and p)
+  end
+  else lhs
+
+and parse_cmp p =
+  let lhs = parse_add p in
+  let op =
+    match peek p with
+    | Token.EQ -> Some Ast.Eq
+    | Token.NEQ -> Some Ast.Neq
+    | Token.LT -> Some Ast.Lt
+    | Token.LE -> Some Ast.Le
+    | Token.GT -> Some Ast.Gt
+    | Token.GE -> Some Ast.Ge
+    | _ -> None
+  in
+  match op with
+  | None -> lhs
+  | Some op ->
+    advance p;
+    Ast.E_binop (op, lhs, parse_add p)
+
+and parse_add p =
+  let rec go lhs =
+    match peek p with
+    | Token.PLUS ->
+      advance p;
+      go (Ast.E_binop (Ast.Add, lhs, parse_mul p))
+    | Token.MINUS ->
+      advance p;
+      go (Ast.E_binop (Ast.Sub, lhs, parse_mul p))
+    | _ -> lhs
+  in
+  go (parse_mul p)
+
+and parse_mul p =
+  let rec go lhs =
+    if peek p = Token.STAR then begin
+      advance p;
+      go (Ast.E_binop (Ast.Mul, lhs, parse_unary p))
+    end
+    else lhs
+  in
+  go (parse_unary p)
+
+and parse_unary p =
+  match peek p with
+  | Token.BANG ->
+    advance p;
+    Ast.E_not (parse_unary p)
+  | Token.MINUS ->
+    advance p;
+    Ast.E_binop (Ast.Sub, Ast.E_int 0, parse_unary p)
+  | _ -> parse_atom p
+
+and parse_atom p =
+  match peek p with
+  | Token.INT n ->
+    advance p;
+    Ast.E_int n
+  | Token.KW_true ->
+    advance p;
+    Ast.E_bool true
+  | Token.KW_false ->
+    advance p;
+    Ast.E_bool false
+  | Token.IDENT x ->
+    advance p;
+    Ast.E_var x
+  | Token.LPAREN ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    e
+  | t -> error p (Fmt.str "expected expression, found '%a'" Token.pp t)
+
+(* -- Statements ----------------------------------------------------------- *)
+
+let rec parse_block p =
+  expect p Token.LBRACE;
+  let rec go acc =
+    if peek p = Token.RBRACE then begin
+      advance p;
+      List.rev acc
+    end
+    else go (parse_stmt p :: acc)
+  in
+  go []
+
+and parse_stmt p =
+  match peek p with
+  | Token.KW_skip ->
+    advance p;
+    expect p Token.SEMI;
+    Ast.S_skip
+  | Token.KW_var ->
+    advance p;
+    let x = expect_ident p in
+    expect p Token.ASSIGN;
+    let e = parse_expr p in
+    expect p Token.SEMI;
+    Ast.S_var (x, e)
+  | Token.KW_if ->
+    advance p;
+    let e = parse_expr p in
+    let t = parse_block p in
+    let f = if peek p = Token.KW_else then (advance p; parse_block p) else [] in
+    Ast.S_if (e, t, f)
+  | Token.KW_while ->
+    advance p;
+    let e = parse_expr p in
+    Ast.S_while (e, parse_block p)
+  | Token.KW_loop ->
+    advance p;
+    Ast.S_loop (parse_block p)
+  | Token.KW_choose ->
+    advance p;
+    let first = parse_block p in
+    let rec alts acc =
+      if peek p = Token.KW_or then begin
+        advance p;
+        alts (parse_block p :: acc)
+      end
+      else List.rev acc
+    in
+    Ast.S_choose (first :: alts [])
+  | Token.KW_send ->
+    advance p;
+    let ch = expect_ident p in
+    expect p Token.LPAREN;
+    let e = parse_expr p in
+    expect p Token.RPAREN;
+    let binder =
+      if peek p = Token.ARROW then begin
+        advance p;
+        Some (expect_ident p)
+      end
+      else None
+    in
+    expect p Token.SEMI;
+    Ast.S_send (ch, e, binder)
+  | Token.KW_recv ->
+    advance p;
+    let ch = expect_ident p in
+    expect p Token.LPAREN;
+    let x = expect_ident p in
+    expect p Token.RPAREN;
+    expect p Token.KW_reply;
+    let e = parse_expr p in
+    expect p Token.SEMI;
+    Ast.S_recv (ch, x, e)
+  | Token.KW_havoc ->
+    advance p;
+    let x = expect_ident p in
+    expect p Token.KW_in;
+    let lo = parse_expr p in
+    expect p Token.DOTDOT;
+    let hi = parse_expr p in
+    expect p Token.SEMI;
+    Ast.S_havoc (x, lo, hi)
+  | Token.KW_assert ->
+    advance p;
+    let e = parse_expr p in
+    expect p Token.SEMI;
+    Ast.S_assert e
+  | Token.IDENT x ->
+    advance p;
+    expect p Token.ASSIGN;
+    let e = parse_expr p in
+    expect p Token.SEMI;
+    Ast.S_assign (x, e)
+  | t -> error p (Fmt.str "expected statement, found '%a'" Token.pp t)
+
+let parse_process p =
+  expect p Token.KW_process;
+  let name = expect_ident p in
+  let body = parse_block p in
+  { Ast.name; body }
+
+let parse_program p =
+  let rec go acc =
+    if peek p = Token.EOF then List.rev acc else go (parse_process p :: acc)
+  in
+  go []
+
+(* Entry point: parse a full program from source text. *)
+let program src =
+  let p = { toks = Lexer.tokenize src } in
+  let prog = parse_program p in
+  prog
+
+(* Parse a single expression (used by tests and the REPL-ish tooling). *)
+let expression src =
+  let p = { toks = Lexer.tokenize src } in
+  let e = parse_expr p in
+  expect p Token.EOF;
+  e

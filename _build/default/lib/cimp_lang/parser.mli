@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the CIMP concrete syntax.  See the
+    implementation header for the grammar. *)
+
+exception Error of string * Lexer.pos
+
+val program : string -> Ast.program
+(** Parse a full program from source text.
+    @raise Error with a message and position on malformed input. *)
+
+val expression : string -> Ast.expr
+(** Parse a single expression (tests, tooling). *)

@@ -1,0 +1,111 @@
+(* Tokens of the CIMP concrete syntax.
+
+   The paper presents CIMP as a language "plausible to both communities"
+   (system designers and verifiers); this front-end gives it a concrete
+   syntax so that small process systems — the paper's Fig. 7/8 examples,
+   teaching material, litmus-style tests — can be written as text and
+   compiled onto the core semantics. *)
+
+type t =
+  | INT of int
+  | IDENT of string
+  | KW_process
+  | KW_var
+  | KW_skip
+  | KW_if
+  | KW_else
+  | KW_while
+  | KW_loop
+  | KW_choose
+  | KW_or
+  | KW_send
+  | KW_recv
+  | KW_reply
+  | KW_havoc
+  | KW_in
+  | KW_true
+  | KW_false
+  | KW_assert
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | SEMI
+  | ASSIGN  (* := *)
+  | ARROW  (* -> *)
+  | DOTDOT  (* .. *)
+  | PLUS
+  | MINUS
+  | STAR
+  | EQ  (* == *)
+  | NEQ  (* != *)
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+let pp ppf = function
+  | INT n -> Fmt.pf ppf "%d" n
+  | IDENT s -> Fmt.pf ppf "%s" s
+  | KW_process -> Fmt.string ppf "process"
+  | KW_var -> Fmt.string ppf "var"
+  | KW_skip -> Fmt.string ppf "skip"
+  | KW_if -> Fmt.string ppf "if"
+  | KW_else -> Fmt.string ppf "else"
+  | KW_while -> Fmt.string ppf "while"
+  | KW_loop -> Fmt.string ppf "loop"
+  | KW_choose -> Fmt.string ppf "choose"
+  | KW_or -> Fmt.string ppf "or"
+  | KW_send -> Fmt.string ppf "send"
+  | KW_recv -> Fmt.string ppf "recv"
+  | KW_reply -> Fmt.string ppf "reply"
+  | KW_havoc -> Fmt.string ppf "havoc"
+  | KW_in -> Fmt.string ppf "in"
+  | KW_true -> Fmt.string ppf "true"
+  | KW_false -> Fmt.string ppf "false"
+  | KW_assert -> Fmt.string ppf "assert"
+  | LBRACE -> Fmt.string ppf "{"
+  | RBRACE -> Fmt.string ppf "}"
+  | LPAREN -> Fmt.string ppf "("
+  | RPAREN -> Fmt.string ppf ")"
+  | SEMI -> Fmt.string ppf ";"
+  | ASSIGN -> Fmt.string ppf ":="
+  | ARROW -> Fmt.string ppf "->"
+  | DOTDOT -> Fmt.string ppf ".."
+  | PLUS -> Fmt.string ppf "+"
+  | MINUS -> Fmt.string ppf "-"
+  | STAR -> Fmt.string ppf "*"
+  | EQ -> Fmt.string ppf "=="
+  | NEQ -> Fmt.string ppf "!="
+  | LT -> Fmt.string ppf "<"
+  | LE -> Fmt.string ppf "<="
+  | GT -> Fmt.string ppf ">"
+  | GE -> Fmt.string ppf ">="
+  | ANDAND -> Fmt.string ppf "&&"
+  | OROR -> Fmt.string ppf "||"
+  | BANG -> Fmt.string ppf "!"
+  | EOF -> Fmt.string ppf "<eof>"
+
+let keyword_of_string = function
+  | "process" -> Some KW_process
+  | "var" -> Some KW_var
+  | "skip" -> Some KW_skip
+  | "if" -> Some KW_if
+  | "else" -> Some KW_else
+  | "while" -> Some KW_while
+  | "loop" -> Some KW_loop
+  | "choose" -> Some KW_choose
+  | "or" -> Some KW_or
+  | "send" -> Some KW_send
+  | "recv" -> Some KW_recv
+  | "reply" -> Some KW_reply
+  | "havoc" -> Some KW_havoc
+  | "in" -> Some KW_in
+  | "true" -> Some KW_true
+  | "false" -> Some KW_false
+  | "assert" -> Some KW_assert
+  | _ -> None

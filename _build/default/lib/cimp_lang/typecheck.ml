@@ -1,0 +1,140 @@
+(* A small checker for the CIMP concrete language: variables must be
+   declared before use (declarations are block-scoped to the process, as
+   local state is flat), expressions must be consistently int- or
+   bool-typed, guards must be bool, arithmetic must be int, and each
+   channel must be used with one payload type and one reply type across
+   the whole program. *)
+
+type ty = T_int | T_bool
+
+let pp_ty ppf = function T_int -> Fmt.string ppf "int" | T_bool -> Fmt.string ppf "bool"
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type chan_sig = { payload : ty; reply : ty }
+
+type env = {
+  vars : (string * ty) list;
+  chans : (string * chan_sig) list;  (* global, accumulated *)
+}
+
+let lookup_var env x =
+  match List.assoc_opt x env.vars with
+  | Some ty -> ty
+  | None -> error "undeclared variable %s" x
+
+let rec infer env : Ast.expr -> ty = function
+  | Ast.E_int _ -> T_int
+  | Ast.E_bool _ -> T_bool
+  | Ast.E_var x -> lookup_var env x
+  | Ast.E_not e ->
+    check env e T_bool;
+    T_bool
+  | Ast.E_binop (op, a, b) -> (
+    match op with
+    | Ast.Add | Ast.Sub | Ast.Mul ->
+      check env a T_int;
+      check env b T_int;
+      T_int
+    | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+      check env a T_int;
+      check env b T_int;
+      T_bool
+    | Ast.Eq | Ast.Neq ->
+      let ta = infer env a in
+      check env b ta;
+      T_bool
+    | Ast.And | Ast.Or ->
+      check env a T_bool;
+      check env b T_bool;
+      T_bool)
+
+and check env e ty =
+  let found = infer env e in
+  if found <> ty then error "expected %a, found %a in %a" pp_ty ty pp_ty found Ast.pp_expr e
+
+(* Record or verify a channel's signature. *)
+let use_chan env ch ~payload ~reply =
+  match List.assoc_opt ch env.chans with
+  | None -> { env with chans = (ch, { payload; reply }) :: env.chans }
+  | Some s ->
+    if s.payload <> payload then
+      error "channel %s payload is %a, used with %a" ch pp_ty s.payload pp_ty payload;
+    if s.reply <> reply then
+      error "channel %s reply is %a, used with %a" ch pp_ty s.reply pp_ty reply;
+    env
+
+let rec check_stmt env : Ast.stmt -> env = function
+  | Ast.S_skip -> env
+  | Ast.S_var (x, e) ->
+    if List.mem_assoc x env.vars then error "variable %s redeclared" x;
+    let ty = infer env e in
+    { env with vars = (x, ty) :: env.vars }
+  | Ast.S_assign (x, e) ->
+    check env e (lookup_var env x);
+    env
+  | Ast.S_if (e, t, f) ->
+    check env e T_bool;
+    let env = check_block env t in
+    check_block env f
+  | Ast.S_while (e, b) ->
+    check env e T_bool;
+    check_block env b
+  | Ast.S_loop b -> check_block env b
+  | Ast.S_choose bs -> List.fold_left check_block env bs
+  | Ast.S_send (ch, e, binder) ->
+    let payload = infer env e in
+    (* The reply binder is implicitly declared at its first use, typed by
+       the channel's reply type when already known. *)
+    let declared x =
+      match List.assoc_opt x env.vars with
+      | Some ty -> (env, ty)
+      | None ->
+        let ty =
+          match List.assoc_opt ch env.chans with Some s -> s.reply | None -> T_int
+        in
+        ({ env with vars = (x, ty) :: env.vars }, ty)
+    in
+    let env, reply =
+      match binder with None -> (env, T_int) | Some x -> declared x
+    in
+    use_chan env ch ~payload ~reply
+  | Ast.S_recv (ch, x, reply_expr) ->
+    (* The request binder is implicitly declared, typed by the channel's
+       payload type when already known. *)
+    let env, payload =
+      match List.assoc_opt x env.vars with
+      | Some ty -> (env, ty)
+      | None ->
+        let ty =
+          match List.assoc_opt ch env.chans with Some s -> s.payload | None -> T_int
+        in
+        ({ env with vars = (x, ty) :: env.vars }, ty)
+    in
+    let reply = infer env reply_expr in
+    use_chan env ch ~payload ~reply
+  | Ast.S_havoc (x, lo, hi) ->
+    check env lo T_int;
+    check env hi T_int;
+    if lookup_var env x <> T_int then error "havoc variable %s must be int" x;
+    env
+  | Ast.S_assert e ->
+    check env e T_bool;
+    env
+
+and check_block env b = List.fold_left check_stmt env b
+
+(* Check a whole program; channel signatures are shared across processes
+   (that is the point of a rendezvous).  Returns the accumulated channel
+   signatures. *)
+let program (prog : Ast.program) =
+  let chans =
+    List.fold_left
+      (fun chans (p : Ast.process) ->
+        let env = check_block { vars = []; chans } p.body in
+        env.chans)
+      [] prog
+  in
+  List.rev chans

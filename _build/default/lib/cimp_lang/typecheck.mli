@@ -1,0 +1,17 @@
+(** Checker for the CIMP concrete language: declaration-before-use,
+    int/bool consistency, bool guards, and one payload/reply signature per
+    channel across the whole program.  Send/recv binders are implicitly
+    declared at first use, typed by the channel's signature when already
+    known. *)
+
+type ty = T_int | T_bool
+
+val pp_ty : ty Fmt.t
+
+exception Error of string
+
+type chan_sig = { payload : ty; reply : ty }
+
+val program : Ast.program -> (string * chan_sig) list
+(** Typecheck a program; returns the channel signatures.
+    @raise Error on the first defect. *)

@@ -1,0 +1,1 @@
+lib/core/color.ml: Config Fun Gcheap List State

@@ -1,0 +1,1 @@
+lib/core/dump.ml: Check Config Fmt Gcheap Model State Types

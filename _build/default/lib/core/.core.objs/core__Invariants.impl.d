@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Cimp Color Config Fun Gcheap List Model State String Types

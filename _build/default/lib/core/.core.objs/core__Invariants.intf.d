@@ -1,0 +1,1 @@
+lib/core/invariants.mli: Config Model State Types

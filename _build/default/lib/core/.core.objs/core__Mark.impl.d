@@ -1,0 +1,1 @@
+lib/core/mark.ml: Cimp Config State Types

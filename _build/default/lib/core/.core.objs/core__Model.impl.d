@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Cimp Collector Config Fmt Gcheap List Mutator State String Sysproc Types

@@ -1,0 +1,1 @@
+lib/core/model.mli: Cimp Config Gcheap State Types

@@ -1,0 +1,1 @@
+lib/core/mutator.ml: Cimp Config Iset List Mark Option State Types

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Check Config Fun Gcheap Invariants List Model Variants

@@ -1,0 +1,1 @@
+lib/core/sysproc.ml: Cimp Config Fun Gcheap Iset List State Types

@@ -1,0 +1,27 @@
+(** The tricolor interpretation of Section 3.2, including its TSO-induced
+    overlaps: an object is white if unmarked on the committed heap, grey if
+    on some work-list or a ghost honorary grey, black if marked and not
+    grey — and during a winning CAS an object can be white and grey at
+    once. *)
+
+val greys : Config.t -> State.sys_data -> Types.rf list
+(** All grey references: every software process's work-list plus the ghost
+    honorary greys. *)
+
+val is_grey : Config.t -> State.sys_data -> Types.rf -> bool
+
+val is_marked : State.sys_data -> Types.rf -> bool
+(** Marked w.r.t. the committed memory's f_M sense. *)
+
+val is_white : State.sys_data -> Types.rf -> bool
+val is_black : Config.t -> State.sys_data -> Types.rf -> bool
+
+val whites : State.sys_data -> Types.rf list
+val marked : State.sys_data -> Types.rf list
+val blacks : Config.t -> State.sys_data -> Types.rf list
+
+val grey_protected_whites : Config.t -> State.sys_data -> Types.rf list
+(** White objects reachable from some grey via a chain of zero or more
+    white objects (Fig. 1's protection). *)
+
+val is_grey_protected : Config.t -> State.sys_data -> Types.rf -> bool

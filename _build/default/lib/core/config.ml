@@ -1,0 +1,77 @@
+(* Model configuration: instance bounds and the ablation/variant switches.
+
+   The [true, true, ...] defaults give the paper's collector; each switch
+   either removes a mechanism the proof depends on (expected: the checker
+   finds a safety violation) or enacts one of the paper's Section 4
+   "Observations" (expected: still safe). *)
+
+type t = {
+  n_muts : int;
+  n_refs : int;
+  n_fields : int;
+  buf_bound : int;  (* TSO store-buffer capacity (paper: unbounded) *)
+  sc_memory : bool;  (* commit stores immediately: the SC baseline *)
+  pso_memory : bool;
+    (* extension: partial store order — buffers are per-location FIFO only,
+       stores to different locations may commit out of order (first step
+       toward the ARM/POWER models of Section 4) *)
+  deletion_barrier : bool;  (* Fig. 6 line 8: the snapshot barrier *)
+  insertion_barrier : bool;  (* Fig. 6 line 9: the incremental-update barrier *)
+  insertion_skip_after_roots : bool;
+    (* O2: mutators that passed get-roots skip the insertion barrier
+       (extra branch in the store barrier) *)
+  alloc_white : bool;  (* ablation: ignore fA, always allocate unmarked *)
+  handshake_fences : bool;  (* ablation: drop all four handshake MFENCEs *)
+  skip_init_handshakes : bool;
+    (* O1: drop the two middle initialization rounds (nop2, nop3) *)
+  cas_mark : bool;  (* ablation (false): mark without the LOCK'd CAS *)
+  mut_load : bool;  (* mutator operation repertoire, for targeted runs *)
+  mut_store : bool;
+  mut_alloc : bool;
+  mut_discard : bool;
+  mut_mfence : bool;
+  max_cycles : int;
+    (* 0 = the paper's everlasting control loop; k > 0 bounds the run to k
+       mark-sweep cycles so that exhaustive exploration can close *)
+  max_mut_ops : int;
+    (* 0 = unbounded mutators; k > 0 gives each mutator a budget of k
+       heap operations (handshaking stays free), again for closure *)
+}
+
+let default =
+  {
+    n_muts = 1;
+    n_refs = 3;
+    n_fields = 1;
+    buf_bound = 2;
+    sc_memory = false;
+    pso_memory = false;
+    deletion_barrier = true;
+    insertion_barrier = true;
+    insertion_skip_after_roots = false;
+    alloc_white = false;
+    handshake_fences = true;
+    skip_init_handshakes = false;
+    cas_mark = true;
+    mut_load = true;
+    mut_store = true;
+    mut_alloc = true;
+    mut_discard = true;
+    mut_mfence = true;
+    max_cycles = 0;
+    max_mut_ops = 0;
+  }
+
+(* Process identifiers within the CIMP system: the collector, then the
+   mutators, then Sys.  Store buffers, work-lists and ghost-grey slots are
+   indexed by the software pids 0..n_muts (collector and mutators). *)
+let pid_gc = 0
+let pid_mut _cfg m = 1 + m
+let pid_sys cfg = 1 + cfg.n_muts
+let n_procs cfg = cfg.n_muts + 2
+let n_software cfg = cfg.n_muts + 1
+
+let proc_name cfg p =
+  if p = pid_gc then "gc"
+  else if p = pid_sys cfg then "sys"
+  else Printf.sprintf "mut%d" (p - 1)

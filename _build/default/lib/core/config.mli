@@ -1,0 +1,46 @@
+(** Model configuration: instance bounds and the ablation/variant switches.
+
+    The defaults give the paper's collector; each switch either removes a
+    mechanism the proof depends on (the checker then finds a safety
+    violation) or enacts one of the paper's Section 4 Observations. *)
+
+type t = {
+  n_muts : int;
+  n_refs : int;
+  n_fields : int;
+  buf_bound : int;  (** TSO store-buffer capacity (the paper leaves it unspecified) *)
+  sc_memory : bool;  (** commit stores immediately: the SC baseline *)
+  pso_memory : bool;
+      (** extension: partial store order — per-location FIFO only (first
+          step toward ARM/POWER, Section 4) *)
+  deletion_barrier : bool;  (** Fig. 6: the snapshot barrier *)
+  insertion_barrier : bool;  (** Fig. 6: the incremental-update barrier *)
+  insertion_skip_after_roots : bool;
+      (** O2: mutators past get-roots skip the insertion barrier *)
+  alloc_white : bool;  (** ablation: ignore f_A, always allocate unmarked *)
+  handshake_fences : bool;  (** ablation: drop the four handshake MFENCEs *)
+  skip_init_handshakes : bool;  (** O1: drop the two middle init rounds *)
+  cas_mark : bool;  (** ablation (false): mark without the LOCK'd CAS *)
+  mut_load : bool;  (** mutator operation repertoire, for targeted runs *)
+  mut_store : bool;
+  mut_alloc : bool;
+  mut_discard : bool;
+  mut_mfence : bool;
+  max_cycles : int;  (** 0 = everlasting; k bounds the run to k cycles *)
+  max_mut_ops : int;  (** 0 = unbounded; k = per-mutator heap-op budget *)
+}
+
+val default : t
+
+(** {1 Process identifiers within the CIMP system} *)
+
+val pid_gc : int
+val pid_mut : t -> int -> int
+val pid_sys : t -> int
+val n_procs : t -> int
+
+val n_software : t -> int
+(** Collector + mutators: the processes with store buffers, work-lists and
+    ghost honorary greys. *)
+
+val proc_name : t -> int -> string

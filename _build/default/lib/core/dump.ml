@@ -1,0 +1,50 @@
+(* Human-readable dumps of global model states, used when printing
+   counterexample traces and by the examples. *)
+
+open Types
+open State
+
+let pp_buf ppf buf =
+  Fmt.pf ppf "[%a]" (Fmt.list ~sep:Fmt.semi pp_write) buf
+
+let pp_sys_data cfg ppf sd =
+  Fmt.pf ppf "@[<v>mem: fA=%b fM=%b phase=%a@,heap:@,  @[<v>%a@]@," sd.s_mem.fA sd.s_mem.fM
+    pp_phase sd.s_mem.phase Gcheap.Heap.pp sd.s_mem.heap;
+  Fmt.pf ppf "lock=%a  hs=%a pending=[%a] done=[%a]@,"
+    (Fmt.option ~none:(Fmt.any "-") Fmt.int)
+    sd.s_lock pp_hs sd.s_hs_type
+    (Fmt.list ~sep:Fmt.comma Fmt.bool)
+    sd.s_hs_pending
+    (Fmt.list ~sep:Fmt.comma Fmt.bool)
+    sd.s_hs_done;
+  for p = 0 to Config.n_software cfg - 1 do
+    Fmt.pf ppf "%s: buf=%a W=[%a] ghg=%a@," (Config.proc_name cfg p) pp_buf (buf_of sd p)
+      (Fmt.list ~sep:Fmt.comma Fmt.int)
+      (wl_of sd p)
+      (Fmt.option ~none:(Fmt.any "-") Fmt.int)
+      (ghg_of sd p)
+  done;
+  Fmt.pf ppf "dangling=%b@]" sd.s_dangling
+
+let pp_mut_data ppf (d : mut_data) =
+  Fmt.pf ppf "roots=[%a] rooted=%b" (Fmt.list ~sep:Fmt.comma Fmt.int) d.m_roots d.m_rooted
+
+let pp_gc_data ppf (d : gc_data) =
+  Fmt.pf ppf "fM=%b src=%a sweep=[%a]" d.g_fM
+    (Fmt.option ~none:(Fmt.any "-") Fmt.int)
+    d.g_src
+    (Fmt.list ~sep:Fmt.comma Fmt.int)
+    d.g_sweep
+
+(* Dump the full global state of a model system. *)
+let pp_state cfg ppf sys =
+  Fmt.pf ppf "@[<v>collector: %a@," pp_gc_data (Model.gc_data sys);
+  for m = 0 to cfg.Config.n_muts - 1 do
+    Fmt.pf ppf "mut%d: %a@," m pp_mut_data (Model.mut_data sys cfg m)
+  done;
+  Fmt.pf ppf "%a@]" (pp_sys_data cfg) (Model.sys_data sys cfg)
+
+(* A trace with the final state expanded. *)
+let pp_trace cfg ppf (tr : ('a, 'v, State.t) Check.Trace.t) =
+  Fmt.pf ppf "@[<v>%a@,@,final state:@,%a@]" Check.Trace.pp tr (pp_state cfg)
+    (Check.Trace.final tr)

@@ -1,0 +1,559 @@
+(* Executable renditions of the paper's invariant catalogue (Sections 2.1
+   and 3.2).  Each invariant is a predicate over a global CIMP state; the
+   checker evaluates all of them at every reachable state, replacing the
+   Isabelle induction with exhaustive evaluation on bounded instances.
+
+   The first three are the *safety* properties (the headline theorem and
+   its direct operational manifestations); the rest are the auxiliary
+   invariants the proof composes, each guarded exactly as the paper guards
+   them (by handshake phase, by pending-write status, etc.).  Guards that
+   only hold for the unablated algorithm consult the configuration: e.g.
+   the phase-protocol invariants presume the handshake fences. *)
+
+open Types
+open State
+
+type t = {
+  name : string;
+  doc : string;
+  safety : bool;  (* part of the headline safety statement? *)
+  check : Model.sys -> bool;
+}
+
+(* -- Root sets ------------------------------------------------------------ *)
+
+(* Buffered insertions: references being written into objects by pending
+   field writes (Section 3.2 "Initialization"). *)
+let buffered_insertions sd p =
+  List.filter_map (function W_field (_, _, Some r) -> Some r | _ -> None) (buf_of sd p)
+
+(* Buffered deletions for process p: for each pending field write, the
+   value it will overwrite — the committed heap value as updated by the
+   *earlier* writes to the same field in p's own (FIFO) buffer. *)
+let buffered_deletions sd p =
+  let field_now overrides (r, f) =
+    match List.assoc_opt (r, f) overrides with
+    | Some v -> v
+    | None -> Gcheap.Heap.field sd.s_mem.heap r f
+  in
+  let _, dels =
+    List.fold_left
+      (fun (overrides, dels) w ->
+        match w with
+        | W_field (r, f, v) ->
+          let old = field_now overrides (r, f) in
+          (((r, f), v) :: overrides, match old with Some d -> d :: dels | None -> dels)
+        | W_fA _ | W_fM _ | W_phase _ | W_mark _ -> (overrides, dels))
+      ([], []) (buf_of sd p)
+  in
+  List.sort_uniq compare dels
+
+(* The extended root set of Section 3.2: mutator roots, grey references
+   (work-lists and ghost honorary greys), references pending in TSO store
+   buffers, and the reference held by an in-flight deletion barrier. *)
+let extended_roots cfg sys =
+  let sd = Model.sys_data sys cfg in
+  let mut_roots =
+    List.concat (List.init cfg.Config.n_muts (fun m -> (Model.mut_data sys cfg m).m_roots))
+  in
+  let buffer_refs =
+    List.concat
+      (List.init (Config.n_software cfg) (fun p ->
+           List.filter_map
+             (function W_field (_, _, v) -> v | W_mark (r, _) -> Some r | _ -> None)
+             (buf_of sd p)))
+  in
+  let in_flight_deletions =
+    List.filter_map
+      (fun m ->
+        let pid = Config.pid_mut cfg m in
+        if Model.at_prefix sys pid "mut:bar-del" || Model.at_prefix sys pid "mut:del-target" then
+          (Model.mut_data sys cfg m).m_loaded
+        else None)
+      (List.init cfg.Config.n_muts Fun.id)
+  in
+  List.sort_uniq compare (mut_roots @ Color.greys cfg sd @ buffer_refs @ in_flight_deletions)
+
+let reachable_from_roots cfg sys =
+  let sd = Model.sys_data sys cfg in
+  Gcheap.Reach.reachable_set sd.s_mem.heap (extended_roots cfg sys)
+
+(* -- Safety --------------------------------------------------------------- *)
+
+(* The headline theorem: [] (forall r. reachable r --> valid_ref r). *)
+let valid_refs_inv cfg =
+  {
+    name = "valid_refs_inv";
+    doc = "every reference reachable from the (extended) roots denotes a heap object";
+    safety = true;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        List.for_all (Gcheap.Heap.valid_ref sd.s_mem.heap) (reachable_from_roots cfg sys));
+  }
+
+(* Operational manifestation: no load/store/commit ever touched a freed
+   cell (the Sys process records such accesses in ghost state). *)
+let no_dangling cfg =
+  {
+    name = "no_dangling_access";
+    doc = "no memory access or commit has hit a freed cell";
+    safety = true;
+    check = (fun sys -> not (Model.sys_data sys cfg).s_dangling);
+  }
+
+(* Fig. 2 lines 41-44: when the collector is about to free [ref], the
+   object is white and unreachable. *)
+let free_only_garbage cfg =
+  {
+    name = "free_only_garbage";
+    doc = "at the free statement, the victim is white and unreachable";
+    safety = true;
+    check =
+      (fun sys ->
+        if not (Cimp.System.at sys Config.pid_gc "gc:free") then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          match (Model.gc_data sys).g_ref with
+          | None -> false
+          | Some r ->
+            Color.is_white sd r && not (List.mem r (reachable_from_roots cfg sys))
+        end);
+  }
+
+(* -- valid_W_inv (Section 3.2 "Marking") ---------------------------------- *)
+
+let worklists_disjoint cfg =
+  {
+    name = "worklists_disjoint";
+    doc = "grey ownership is exclusive: work-lists (and honorary greys) are pairwise disjoint";
+    safety = false;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        let n = Config.n_software cfg in
+        let sets =
+          List.init n (fun p ->
+              wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> []))
+        in
+        let rec pairwise = function
+          | [] -> true
+          | s :: rest ->
+            List.for_all (fun s' -> List.for_all (fun r -> not (List.mem r s')) s) rest
+            && pairwise rest
+        in
+        List.for_all (fun s -> List.length (List.sort_uniq compare s) = List.length s) sets
+        && pairwise sets);
+  }
+
+let valid_w_inv cfg =
+  {
+    name = "valid_W_inv";
+    doc =
+      "work-list/ghg entries are marked on the heap unless their owner holds the TSO lock; \
+       pending mark writes use f_M";
+    safety = false;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        let n = Config.n_software cfg in
+        let marked_unless_locked p =
+          let greys = wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> []) in
+          sd.s_lock = Some p || List.for_all (Color.is_marked sd) greys
+        in
+        let marks_use_fM p =
+          List.for_all
+            (function W_mark (_, b) -> b = sd.s_mem.fM | _ -> true)
+            (buf_of sd p)
+        in
+        List.for_all (fun p -> marked_unless_locked p && marks_use_fM p) (List.init n Fun.id));
+  }
+
+(* -- Coarse TSO invariants ------------------------------------------------ *)
+
+let tso_ownership cfg =
+  {
+    name = "tso_ownership";
+    doc = "only the collector has control-variable writes in flight; mutators only write marks and fields";
+    safety = false;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        let gc_ok = function W_fA _ | W_fM _ | W_phase _ | W_mark _ -> true | W_field _ -> false in
+        let mut_ok = function W_mark _ | W_field _ -> true | W_fA _ | W_fM _ | W_phase _ -> false in
+        List.for_all gc_ok (buf_of sd Config.pid_gc)
+        && List.for_all
+             (fun m -> List.for_all mut_ok (buf_of sd (Config.pid_mut cfg m)))
+             (List.init cfg.Config.n_muts Fun.id));
+  }
+
+let tso_lock_scope cfg =
+  {
+    name = "tso_lock_scope";
+    doc = "the TSO lock is only ever held inside a mark operation's CAS section";
+    safety = false;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        match sd.s_lock with
+        | None -> true
+        | Some p ->
+          p < Config.n_software cfg
+          && List.exists
+               (fun lbl ->
+                 let has sub =
+                   let n = String.length sub and ln = String.length lbl in
+                   let rec go i = i + n <= ln && (String.sub lbl i n = sub || go (i + 1)) in
+                   go 0
+                 in
+                 has ":cas-" || has ":unlock")
+               (Cimp.Com.at_labels (Cimp.System.proc sys p)));
+  }
+
+let gc_fm_coherent cfg =
+  {
+    name = "gc_fM_coherent";
+    doc = "the collector's local f_M agrees with memory, modulo its own pending write";
+    safety = false;
+    check =
+      (fun sys ->
+        let sd = Model.sys_data sys cfg in
+        let g = Model.gc_data sys in
+        let pending_fM =
+          List.fold_left
+            (fun acc w -> match w with W_fM b -> Some b | _ -> acc)
+            None (buf_of sd Config.pid_gc)
+        in
+        (* between the local flip (Fig. 2 line 5's register update) and the
+           issuing of the store, the collector is at the write itself *)
+        Model.at_prefix sys Config.pid_gc "gc:write-fM"
+        ||
+        match pending_fM with Some b -> b = g.g_fM | None -> sd.s_mem.fM = g.g_fM);
+  }
+
+(* -- The phase protocol (Fig. 3 / sys_phase_inv) -------------------------- *)
+
+let pending_phase_writes sd =
+  List.filter_map (function W_phase p -> Some p | _ -> None) (buf_of sd Config.pid_gc)
+
+let pending_fA sd =
+  List.exists (function W_fA _ -> true | _ -> false) (buf_of sd Config.pid_gc)
+
+(* Phase values consistent with each handshake span, taking the collector's
+   pending writes into account.  Presumes the handshake fences. *)
+let phase_inv cfg =
+  {
+    name = "sys_phase_inv";
+    doc = "the phase variable (memory + pending writes) tracks the handshake structure of Fig. 3";
+    safety = false;
+    check =
+      (fun sys ->
+        if not cfg.Config.handshake_fences then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          let mem_phase = sd.s_mem.phase in
+          let pend = pending_phase_writes sd in
+          let round_active = List.exists not sd.s_hs_done in
+          match sd.s_hs_type with
+          | Hs_nop1 ->
+            if cfg.Config.skip_init_handshakes then
+              (* O1: all the initialization writes happen during this span *)
+              (mem_phase = Ph_idle || mem_phase = Ph_init || mem_phase = Ph_mark)
+              && List.for_all (fun p -> p = Ph_init || p = Ph_mark) pend
+            else mem_phase = Ph_idle && pend = []
+          | Hs_nop2 ->
+            (mem_phase = Ph_idle || mem_phase = Ph_init)
+            && List.for_all (fun p -> p = Ph_init) pend
+          | Hs_nop3 ->
+            (mem_phase = Ph_init || mem_phase = Ph_mark)
+            && List.for_all (fun p -> p = Ph_mark) pend
+          | Hs_nop4 -> mem_phase = Ph_mark && pend = []
+          | Hs_get_roots | Hs_get_work ->
+            (* The mark loop can terminate with zero get-work rounds (an
+               empty snapshot, Fig. 2 line 25), so sweep's phase writes can
+               already be in flight while the last round's type is still
+               current.  During an active round, though, phase is stable. *)
+            if round_active then mem_phase = Ph_mark && pend = []
+            else List.for_all (fun p -> p = Ph_sweep || p = Ph_idle) pend
+        end);
+  }
+
+let fa_fm_relation cfg =
+  {
+    name = "fA_fM_relation";
+    doc = "f_A tracks f_M per handshake span: distinct across initialization, equal from nop4 on";
+    safety = false;
+    check =
+      (fun sys ->
+        if not cfg.Config.handshake_fences then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          match sd.s_hs_type with
+          | Hs_nop2 ->
+            (* the sense flip committed before this round began; fA is
+               rewritten only at line 12, much later *)
+            (not (pending_fA sd)) && sd.s_mem.fA <> sd.s_mem.fM
+          | Hs_nop3 ->
+            (* the fA := fM write happens within this span: the senses agree
+               only once it has committed *)
+            not (sd.s_mem.fA = sd.s_mem.fM && pending_fA sd)
+          | Hs_nop4 | Hs_get_roots | Hs_get_work ->
+            (not (pending_fA sd)) && sd.s_mem.fA = sd.s_mem.fM
+          | Hs_nop1 -> true (* the flip lands mid-span: both values legitimate *)
+        end);
+  }
+
+(* -- Colour structure per phase ------------------------------------------ *)
+
+(* hp_IdleInit / hp_InitMark: no black references until the write to f_A is
+   committed (mutator allocate white until then). *)
+let no_black_refs_init cfg =
+  {
+    name = "no_black_refs_init";
+    doc = "between the sense flip and the commit of fA := fM there are no black references";
+    safety = false;
+    check =
+      (fun sys ->
+        if not cfg.Config.handshake_fences then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          match sd.s_hs_type with
+          | Hs_nop2 | Hs_nop3 ->
+            if sd.s_mem.fA <> sd.s_mem.fM then Color.blacks cfg sd = [] else true
+          | Hs_nop1 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
+        end);
+  }
+
+(* hp_Idle: the heap is uniformly black (before the flip commits) or
+   uniformly white (after), and there are no greys. *)
+let idle_heap_uniform cfg =
+  {
+    name = "idle_heap_uniform";
+    doc = "during the idle-sync span the heap is uniformly coloured and grey-free";
+    safety = false;
+    check =
+      (fun sys ->
+        if (not cfg.Config.handshake_fences) || cfg.Config.skip_init_handshakes then
+          (* under O1 the barriers can already fire during the nop1 span *)
+          true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          match sd.s_hs_type with
+          | Hs_nop1 ->
+            Color.greys cfg sd = []
+            &&
+            let dom = Gcheap.Heap.domain sd.s_mem.heap in
+            if sd.s_mem.fA = sd.s_mem.fM then List.for_all (Color.is_marked sd) dom
+            else List.for_all (Color.is_white sd) dom
+          | Hs_nop2 | Hs_nop3 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
+        end);
+  }
+
+(* -- Write-barrier invariants (mutator_phase_inv) ------------------------- *)
+
+let marked_insertions cfg =
+  {
+    name = "marked_insertions";
+    doc = "mutators past the insertion-barrier handshake have only marked references in flight";
+    safety = false;
+    check =
+      (fun sys ->
+        if not (cfg.Config.insertion_barrier && cfg.Config.handshake_fences) then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          List.for_all
+            (fun m ->
+              match mut_hp sd m with
+              | Hp_init_mark | Hp_idle_mark_sweep ->
+                List.for_all
+                  (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
+                  (buffered_insertions sd (Config.pid_mut cfg m))
+              | Hp_idle | Hp_idle_init -> true)
+            (List.init cfg.Config.n_muts Fun.id)
+        end);
+  }
+
+let marked_deletions cfg =
+  {
+    name = "marked_deletions";
+    doc = "mutators past the snapshot handshakes only overwrite marked references";
+    safety = false;
+    check =
+      (fun sys ->
+        if not (cfg.Config.deletion_barrier && cfg.Config.handshake_fences) then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          List.for_all
+            (fun m ->
+              match mut_hp sd m with
+              | Hp_idle_mark_sweep ->
+                List.for_all
+                  (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
+                  (buffered_deletions sd (Config.pid_mut cfg m))
+              | Hp_idle | Hp_idle_init | Hp_init_mark -> true)
+            (List.init cfg.Config.n_muts Fun.id)
+        end);
+  }
+
+(* -- The snapshot invariant (Section 3.2 "Initialization") ---------------- *)
+
+(* For every mutator whose roots have been sampled this cycle ("black"
+   mutators), everything reachable from its roots is black, grey, or a
+   grey-protected white. *)
+let reachable_snapshot_inv cfg =
+  {
+    name = "reachable_snapshot_inv";
+    doc = "black mutators only reach black, grey, or grey-protected white objects";
+    safety = false;
+    check =
+      (fun sys ->
+        if
+          not
+            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
+           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
+        then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          let protected_whites = Color.grey_protected_whites cfg sd in
+          List.for_all
+            (fun m ->
+              (not (mut_black sd m))
+              ||
+              let roots = (Model.mut_data sys cfg m).m_roots in
+              let reach = Gcheap.Reach.reachable_set sd.s_mem.heap roots in
+              List.for_all
+                (fun r ->
+                  Color.is_marked sd r || Color.is_grey cfg sd r || List.mem r protected_whites)
+                reach)
+            (List.init cfg.Config.n_muts Fun.id)
+        end);
+  }
+
+(* -- Mark-loop termination (gc_W_empty_mut_inv) --------------------------- *)
+
+let gc_w_empty_mut_inv cfg =
+  {
+    name = "gc_W_empty_mut_inv";
+    doc =
+      "over root/termination handshakes: a completed mutator with leftover grey work implies \
+       some yet-to-complete mutator also holds grey work";
+    safety = false;
+    check =
+      (fun sys ->
+        if
+          not
+            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
+           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
+        then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          let round_active = List.exists not sd.s_hs_done in
+          match sd.s_hs_type with
+          | (Hs_get_roots | Hs_get_work) when round_active ->
+            (* The paper notes this predicate "is only invariant over those
+               handshakes, when the collector's W is known to start empty":
+               outside a round the collector itself drains W while barriers
+               may grey new work.  Grey work includes an in-flight honorary
+               grey (its owner is about to publish it). *)
+            if wl_of sd Config.pid_gc <> [] then true
+            else begin
+              let muts = List.init cfg.Config.n_muts Fun.id in
+              let grey_work m =
+                wl_of sd (Config.pid_mut cfg m) <> []
+                || ghg_of sd (Config.pid_mut cfg m) <> None
+              in
+              let offender = List.exists (fun m -> hs_done sd m && grey_work m) muts in
+              (not offender) || List.exists (fun m -> (not (hs_done sd m)) && grey_work m) muts
+            end
+          | Hs_get_roots | Hs_get_work | Hs_nop1 | Hs_nop2 | Hs_nop3 | Hs_nop4 -> true
+        end);
+  }
+
+(* -- Tricolor invariants (Section 2.1) ------------------------------------ *)
+
+(* Weak tricolor over the heap: any white object referred to by a black
+   object is grey-protected (Fig. 1).  Holds unconditionally for the real
+   collector. *)
+let weak_tricolor cfg =
+  {
+    name = "weak_tricolor_inv";
+    doc = "white objects pointed to by black objects are grey-protected";
+    safety = false;
+    check =
+      (fun sys ->
+        if
+          not
+            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
+           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
+        then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          let protected_whites = Color.grey_protected_whites cfg sd in
+          List.for_all
+            (fun b ->
+              match Gcheap.Heap.get sd.s_mem.heap b with
+              | None -> true
+              | Some o ->
+                List.for_all
+                  (fun c -> (not (Color.is_white sd c)) || List.mem c protected_whites)
+                  (Gcheap.Obj.children o))
+            (Color.blacks cfg sd)
+        end);
+  }
+
+(* Strong tricolor over the heap, on the spans where the paper claims it:
+   from the commit of fA := fM through the end of the cycle. *)
+let strong_tricolor cfg =
+  {
+    name = "strong_tricolor_inv";
+    doc = "no black-to-white heap edges from the fA commit through the cycle's end";
+    safety = false;
+    check =
+      (fun sys ->
+        if
+          not
+            (cfg.Config.insertion_barrier && cfg.Config.handshake_fences
+           && not cfg.Config.alloc_white && not cfg.Config.insertion_skip_after_roots)
+        then true
+        else begin
+          let sd = Model.sys_data sys cfg in
+          match sd.s_hs_type with
+          | Hs_nop4 | Hs_get_roots | Hs_get_work ->
+            sd.s_mem.fA <> sd.s_mem.fM
+            || List.for_all
+                 (fun b ->
+                   match Gcheap.Heap.get sd.s_mem.heap b with
+                   | None -> true
+                   | Some o ->
+                     List.for_all (fun c -> not (Color.is_white sd c)) (Gcheap.Obj.children o))
+                 (Color.blacks cfg sd)
+          | Hs_nop1 | Hs_nop2 | Hs_nop3 -> true
+        end);
+  }
+
+(* -- Catalogue ------------------------------------------------------------ *)
+
+let safety_invariants cfg = [ valid_refs_inv cfg; no_dangling cfg; free_only_garbage cfg ]
+
+let auxiliary_invariants cfg =
+  [
+    worklists_disjoint cfg;
+    valid_w_inv cfg;
+    tso_ownership cfg;
+    tso_lock_scope cfg;
+    gc_fm_coherent cfg;
+    phase_inv cfg;
+    fa_fm_relation cfg;
+    no_black_refs_init cfg;
+    idle_heap_uniform cfg;
+    marked_insertions cfg;
+    marked_deletions cfg;
+    reachable_snapshot_inv cfg;
+    gc_w_empty_mut_inv cfg;
+    weak_tricolor cfg;
+    strong_tricolor cfg;
+  ]
+
+let all cfg = safety_invariants cfg @ auxiliary_invariants cfg
+
+let find cfg name = List.find_opt (fun i -> i.name = name) (all cfg)

@@ -1,0 +1,31 @@
+(** Assembly of the full model:  GC || M1 || ... || Mn || Sys
+    (Section 3.1), plus the projections the invariants and experiment
+    drivers use.
+
+    The initial state is the paper's steady idle configuration: the
+    collector at the top of its loop, the heap uniformly black, f_A = f_M,
+    phase = Idle, buffers and work-lists empty, the handshake ghosts
+    recording a just-completed termination round. *)
+
+type sys = (Types.msg, Types.value, State.t) Cimp.System.t
+
+type t = { cfg : Config.t; shape : Gcheap.Shapes.t; system : sys }
+
+val make : Config.t -> Gcheap.Shapes.t -> t
+(** @raise Invalid_argument if the shape's size disagrees with the
+    configuration or a process program has duplicate labels. *)
+
+val programs : Config.t -> (Types.msg, Types.value, State.t) Cimp.Com.t list
+val validate_labels : Config.t -> unit
+val initial_sys_data : Config.t -> Gcheap.Shapes.t -> State.sys_data
+
+(** {1 Projections} *)
+
+val sys_data : sys -> Config.t -> State.sys_data
+val gc_data : sys -> State.gc_data
+val mut_data : sys -> Config.t -> int -> State.mut_data
+
+val at_prefix : sys -> int -> string -> bool
+(** Is process [p]'s control inside a label starting with the prefix?
+    Used for control-scoped invariants (e.g. the in-flight deletion
+    barrier's register root). *)

@@ -1,0 +1,53 @@
+(** Scenario presets: (configuration, heap shape, bounds) bundles used by
+    the experiment drivers, the tests and the benchmarks.
+
+    Exhaustive scenarios are sized to close (finite reachable sets, see
+    DESIGN.md section 7); the minimal-witness scenarios are the smallest
+    instances on which each ablation's counterexample is reachable. *)
+
+type t = { label : string; cfg : Config.t; shape : Gcheap.Shapes.t; note : string }
+
+val make :
+  ?n_muts:int ->
+  ?n_refs:int ->
+  ?n_fields:int ->
+  ?buf_bound:int ->
+  ?max_cycles:int ->
+  ?max_mut_ops:int ->
+  ?mut_mfence:bool ->
+  ?tweak:(Config.t -> Config.t) ->
+  label:string ->
+  shape:string ->
+  ?note:string ->
+  unit ->
+  t
+(** Defaults: 1 mutator, 3 refs, 1 field, buffers of 1, 1 cycle, 2 ops,
+    no spontaneous mutator MFENCE.
+    @raise Invalid_argument on an unknown shape name. *)
+
+val model : t -> Model.t
+
+val invariants : ?safety_only:bool -> t -> (string * (Model.sys -> bool)) list
+(** The invariant catalogue instantiated for the scenario's configuration,
+    as (name, predicate) pairs for the checker. *)
+
+val explore : ?max_states:int -> ?safety_only:bool -> t -> (Types.msg, Types.value, State.t) Check.Explore.outcome
+val random_walk :
+  ?seed:int -> ?steps:int -> ?safety_only:bool -> t -> (Types.msg, Types.value, State.t) Check.Random_walk.outcome
+
+(** {1 Presets} *)
+
+val baseline : t
+val two_cycles : t
+val two_mutators : t
+val fig1 : t
+val chain : t
+val deep_buffers : t
+
+val with_variant : Variants.t -> t -> t
+
+val witness_for : Variants.t -> t
+(** The minimal witness scenario for a variant: the instance on which its
+    counterexample is known to be reachable (see EXPERIMENTS.md). *)
+
+val exhaustive_grid : t list

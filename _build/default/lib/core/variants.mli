@@ -1,0 +1,37 @@
+(** Named variants of the collector: the paper's algorithm, ablations that
+    each remove one load-bearing mechanism (the checker must find a
+    counterexample), and the Section 4 Observations (conjectured-safe
+    optimisations). *)
+
+type expectation =
+  | Safe  (** all safety invariants hold on every explored instance *)
+  | Unsafe  (** some safety invariant must fail on small instances *)
+  | Conjectured_safe  (** Section 4: expected safe, not proved in the paper *)
+
+type t = {
+  name : string;
+  description : string;
+  expectation : expectation;
+  tweak : Config.t -> Config.t;
+}
+
+val paper : t
+val no_deletion_barrier : t
+val no_insertion_barrier : t
+val no_barriers : t
+val alloc_white : t
+val no_fences : t
+val no_cas : t
+val sc_memory : t
+val pso_memory : t
+val o1_skip_init_handshakes : t
+val o2_insertion_skip_after_roots : t
+
+val ablations : t list
+(** The five variants expected to break safety. *)
+
+val observations : t list
+(** The Section 4 conjectures. *)
+
+val all : t list
+val by_name : string -> t option

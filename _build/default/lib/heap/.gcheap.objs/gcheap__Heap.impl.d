@@ -1,0 +1,1 @@
+lib/heap/heap.ml: Fmt List Obj Option

@@ -1,0 +1,1 @@
+lib/heap/reach.ml: Array Heap List Obj

@@ -1,0 +1,1 @@
+lib/heap/reach.mli: Heap Obj

@@ -1,0 +1,1 @@
+lib/heap/shapes.ml: Heap List Obj Printf

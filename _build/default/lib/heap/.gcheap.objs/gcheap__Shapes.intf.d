@@ -1,0 +1,1 @@
+lib/heap/shapes.mli: Heap Obj

@@ -1,0 +1,57 @@
+(* The heap: a partial map from references to objects (Section 3.1), whose
+   domain doubles as the set of allocated references.  Represented as a
+   fixed-length list over the bounded reference universe so that heaps are
+   canonical data. *)
+
+type t = {
+  n_fields : int;
+  cells : Obj.t option list;  (* indexed by reference; None is free *)
+}
+
+let make ~n_refs ~n_fields = { n_fields; cells = List.init n_refs (fun _ -> None) }
+
+let n_refs h = List.length h.cells
+
+let valid_ref h r = r >= 0 && r < n_refs h && List.nth h.cells r <> None
+
+let get h r = if r >= 0 && r < n_refs h then List.nth h.cells r else None
+
+let domain h =
+  List.filteri (fun r _ -> List.nth h.cells r <> None) (List.init (n_refs h) (fun i -> i))
+
+let free_refs h =
+  List.filteri (fun r _ -> List.nth h.cells r = None) (List.init (n_refs h) (fun i -> i))
+
+let update h r f =
+  {
+    h with
+    cells = List.mapi (fun i c -> if i = r then Option.map f c else c) h.cells;
+  }
+
+let set h r o = { h with cells = List.mapi (fun i c -> if i = r then o else c) h.cells }
+
+(* Allocation installs a fresh all-NULL object with the given mark; the
+   caller picks the reference (non-deterministically, per the paper's atomic
+   allocation abstraction). *)
+let alloc h r ~mark = set h r (Some (Obj.make ~mark ~n_fields:h.n_fields))
+
+let free h r = set h r None
+
+let set_field h r f v = update h r (fun o -> Obj.set_field o f v)
+let set_mark h r m = update h r (fun o -> Obj.set_mark o m)
+
+let field h r f = Option.bind (get h r) (fun o -> Obj.field o f)
+let mark h r = Option.map (fun o -> o.Obj.mark) (get h r)
+
+(* References marked with flag value [m]. *)
+let marked_with h m =
+  List.filter (fun r -> mark h r = Some m) (domain h)
+
+let pp ppf h =
+  let cell ppf (r, c) =
+    match c with
+    | None -> Fmt.pf ppf "%d:free" r
+    | Some o -> Fmt.pf ppf "%d:%a" r Obj.pp o
+  in
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut cell)
+    (List.mapi (fun r c -> (r, c)) h.cells)

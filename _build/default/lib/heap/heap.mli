@@ -1,0 +1,37 @@
+(** The heap: a partial map from references to objects whose domain doubles
+    as the set of allocated references (Section 3.1), over a bounded
+    reference universe.  Heaps are canonical plain data (fingerprintable). *)
+
+type t
+
+val make : n_refs:int -> n_fields:int -> t
+(** An empty heap over references [0 .. n_refs-1]. *)
+
+val n_refs : t -> int
+
+val valid_ref : t -> Obj.rf -> bool
+(** Is there an object at this reference?  The headline safety property
+    asserts this for every reachable reference. *)
+
+val get : t -> Obj.rf -> Obj.t option
+val domain : t -> Obj.rf list
+val free_refs : t -> Obj.rf list
+
+val alloc : t -> Obj.rf -> mark:bool -> t
+(** Install a fresh all-NULL object with the given mark at a (caller-chosen)
+    reference — the paper's atomic allocation abstraction. *)
+
+val free : t -> Obj.rf -> t
+(** Fig. 2 line 44: remove a reference from the domain. *)
+
+val set_field : t -> Obj.rf -> Obj.fld -> Obj.rf option -> t
+(** No-op when the cell is free (the caller records dangling commits). *)
+
+val set_mark : t -> Obj.rf -> bool -> t
+val field : t -> Obj.rf -> Obj.fld -> Obj.rf option
+val mark : t -> Obj.rf -> bool option
+
+val marked_with : t -> bool -> Obj.rf list
+(** References whose mark flag equals the given sense. *)
+
+val pp : t Fmt.t

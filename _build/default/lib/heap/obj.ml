@@ -1,0 +1,34 @@
+(* Objects, after Section 3.1: an object consists of a garbage-collection
+   mark and a partial map from fields to references-or-NULL.  We abstract
+   from non-reference payloads exactly as the paper does.
+
+   References are drawn from a fixed finite set 0..n_refs-1 (the paper's
+   arbitrary non-empty R, bounded for model checking); fields are 0..n_fields-1.
+   Everything is canonical plain data so whole states can be hashed
+   polymorphically. *)
+
+type rf = int
+type fld = int
+
+type t = {
+  mark : bool;  (* the raw flag; its colour meaning is contingent on f_M *)
+  fields : rf option list;  (* indexed by field; None is NULL *)
+}
+
+let make ~mark ~n_fields = { mark; fields = List.init n_fields (fun _ -> None) }
+
+let field o f = List.nth o.fields f
+
+let set_field o f r = { o with fields = List.mapi (fun i v -> if i = f then r else v) o.fields }
+
+let set_mark o m = { o with mark = m }
+
+let n_fields o = List.length o.fields
+
+(* All non-NULL references stored in the object's fields. *)
+let children o = List.filter_map (fun v -> v) o.fields
+
+let pp ppf o =
+  Fmt.pf ppf "{mark=%b; fields=[%a]}" o.mark
+    (Fmt.list ~sep:Fmt.semi (Fmt.option ~none:(Fmt.any "-") Fmt.int))
+    o.fields

@@ -1,0 +1,25 @@
+(** Objects, after the paper's Section 3.1: a garbage-collection mark and a
+    map from fields to references-or-NULL; non-reference payloads are
+    abstracted away. *)
+
+type rf = int
+(** References: drawn from the bounded universe [0 .. n_refs-1]. *)
+
+type fld = int
+(** Field indices: [0 .. n_fields-1]. *)
+
+type t = {
+  mark : bool;  (** the raw flag; its colour meaning is contingent on f_M *)
+  fields : rf option list;  (** indexed by field; [None] is NULL *)
+}
+
+val make : mark:bool -> n_fields:int -> t
+val field : t -> fld -> rf option
+val set_field : t -> fld -> rf option -> t
+val set_mark : t -> bool -> t
+val n_fields : t -> int
+
+val children : t -> rf list
+(** All non-NULL references stored in the object's fields. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,17 @@
+(** Reachability through the heap (Section 3.2): paths always go via the
+    committed heap; TSO-buffer and ghost roots are assembled by the caller
+    ({!Core.Invariants.extended_roots}). *)
+
+val reachable_set : Heap.t -> Obj.rf list -> Obj.rf list
+(** Everything reachable from the roots.  The roots themselves are
+    included whether or not they denote objects — a dangling root is
+    "reachable" and thus a safety violation. *)
+
+val reaches : Heap.t -> src:Obj.rf -> dst:Obj.rf -> bool
+val reachable : Heap.t -> Obj.rf list -> Obj.rf -> bool
+
+val white_reachable_set : Heap.t -> white:(Obj.rf -> bool) -> Obj.rf list -> Obj.rf list
+(** Grey protection (Fig. 1): everything reachable from the sources via
+    chains whose interior nodes are all white.  Sources expand
+    unconditionally (they are the greys); a node reached first as a
+    non-white endpoint still expands if it is itself a source. *)

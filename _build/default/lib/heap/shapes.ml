@@ -1,0 +1,78 @@
+(* Initial heap shapes for the exploration experiments.
+
+   Each shape builds a heap over a given reference universe plus a
+   suggestive mutator-root assignment.  The [fig1] shape reconstructs the
+   grey-protection scenario of the paper's Figure 1: a chain through which a
+   deletion can hide a live object from the collector. *)
+
+type t = {
+  name : string;
+  heap : Heap.t;
+  roots : Obj.rf list list;  (* one root set per mutator; cycled if fewer *)
+}
+
+let roots_for shape m =
+  match shape.roots with
+  | [] -> []
+  | rs -> List.nth rs (m mod List.length rs)
+
+(* No objects at all; everything must come from allocation. *)
+let empty ~n_refs ~n_fields = { name = "empty"; heap = Heap.make ~n_refs ~n_fields; roots = [ [] ] }
+
+(* A single object, rooted. *)
+let single ~n_refs ~n_fields =
+  let heap = Heap.alloc (Heap.make ~n_refs ~n_fields) 0 ~mark:false in
+  { name = "single"; heap; roots = [ [ 0 ] ] }
+
+(* A chain 0 -> 1 -> ... -> k-1 through field 0, rooted at 0. *)
+let chain ~n_refs ~n_fields k =
+  let k = min k n_refs in
+  let heap = ref (Heap.make ~n_refs ~n_fields) in
+  for r = 0 to k - 1 do
+    heap := Heap.alloc !heap r ~mark:false
+  done;
+  for r = 0 to k - 2 do
+    heap := Heap.set_field !heap r 0 (Some (r + 1))
+  done;
+  { name = Printf.sprintf "chain%d" k; heap = !heap; roots = [ [ 0 ] ] }
+
+(* A cycle over the first k references. *)
+let cycle ~n_refs ~n_fields k =
+  let k = min k n_refs in
+  let c = chain ~n_refs ~n_fields k in
+  let heap = if k > 0 then Heap.set_field c.heap (k - 1) 0 (Some 0) else c.heap in
+  { name = Printf.sprintf "cycle%d" k; heap; roots = [ [ 0 ] ] }
+
+(* Two roots sharing a tail: 0 -> 2 <- 1, mutator roots {0} and {1}. *)
+let shared ~n_refs ~n_fields =
+  let heap = ref (Heap.make ~n_refs ~n_fields) in
+  List.iter (fun r -> heap := Heap.alloc !heap r ~mark:false) [ 0; 1; 2 ];
+  heap := Heap.set_field !heap 0 0 (Some 2);
+  heap := Heap.set_field !heap 1 0 (Some 2);
+  { name = "shared"; heap = !heap; roots = [ [ 0 ]; [ 1 ] ] }
+
+(* The Figure 1 configuration: B -> W and G -> o -> W with B=0, G=1, o=2,
+   W=3 (the chain node o makes the white chain non-trivial).  A mutator
+   holding root B can delete the edge o -> W; without the deletion barrier
+   the collector never discovers W. *)
+let fig1 ~n_refs ~n_fields =
+  let n_refs = max n_refs 4 in
+  let heap = ref (Heap.make ~n_refs ~n_fields) in
+  List.iter (fun r -> heap := Heap.alloc !heap r ~mark:false) [ 0; 1; 2; 3 ];
+  heap := Heap.set_field !heap 0 0 (Some 3);
+  heap := Heap.set_field !heap 1 0 (Some 2);
+  heap := Heap.set_field !heap 2 0 (Some 3);
+  { name = "fig1"; heap = !heap; roots = [ [ 0; 1 ] ] }
+
+let all ~n_refs ~n_fields =
+  [
+    empty ~n_refs ~n_fields;
+    single ~n_refs ~n_fields;
+    chain ~n_refs ~n_fields 3;
+    cycle ~n_refs ~n_fields 3;
+    shared ~n_refs ~n_fields;
+    fig1 ~n_refs ~n_fields;
+  ]
+
+let by_name ~n_refs ~n_fields name =
+  List.find_opt (fun s -> s.name = name) (all ~n_refs ~n_fields)

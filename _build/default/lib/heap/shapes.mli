@@ -1,0 +1,28 @@
+(** Initial heap shapes for the experiments: small configurations plus a
+    per-mutator root assignment.  [fig1] reconstructs the paper's Figure 1
+    grey-protection scenario. *)
+
+type t = {
+  name : string;
+  heap : Heap.t;
+  roots : Obj.rf list list;  (** one root set per mutator; cycled if fewer *)
+}
+
+val roots_for : t -> int -> Obj.rf list
+(** The root set for mutator [m] (cycling through [roots]). *)
+
+val empty : n_refs:int -> n_fields:int -> t
+val single : n_refs:int -> n_fields:int -> t
+val chain : n_refs:int -> n_fields:int -> int -> t
+(** [chain k]: 0 -> 1 -> ... -> k-1 through field 0, rooted at 0. *)
+
+val cycle : n_refs:int -> n_fields:int -> int -> t
+val shared : n_refs:int -> n_fields:int -> t
+(** Two roots sharing a tail: 0 -> 2 <- 1, mutator roots {0} and {1}. *)
+
+val fig1 : n_refs:int -> n_fields:int -> t
+(** B(0) -> W(3) and G(1) -> o(2) -> W(3): deleting o -> W can hide the
+    live W without the deletion barrier. *)
+
+val all : n_refs:int -> n_fields:int -> t list
+val by_name : n_refs:int -> n_fields:int -> string -> t option

@@ -1,0 +1,1 @@
+lib/runtime/harness.ml: Array Atomic Domain Fmt List Random Rcollector Rheap Rmutator Rshared Unix

@@ -1,0 +1,1 @@
+lib/runtime/rcollector.ml: Array Atomic Domain List Rheap Rshared Unix

@@ -1,0 +1,1 @@
+lib/runtime/rheap.ml: Array Atomic List Mutex

@@ -1,0 +1,1 @@
+lib/runtime/rheap.mli: Atomic Mutex

@@ -1,0 +1,1 @@
+lib/runtime/rmutator.ml: Array Atomic Domain Fmt List Printf Random Rheap Rshared

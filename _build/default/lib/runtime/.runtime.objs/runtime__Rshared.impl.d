@@ -1,0 +1,1 @@
+lib/runtime/rshared.ml: Array Atomic List Mutex Rheap

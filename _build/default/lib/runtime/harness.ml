@@ -1,0 +1,101 @@
+(* Stress harness for the concrete runtime: one collector domain cycling
+   continuously, n mutator domains performing random barrier-complete heap
+   operations, for a wall-clock duration.  On-line validation (loads must
+   never fetch a freed reference) runs inside the mutators; a final
+   stop-the-world validation recomputes reachability from every root and
+   checks it against the allocation map. *)
+
+type stats = {
+  cycles : int;
+  ops : int;
+  allocs : int;
+  frees : int;
+  cas_attempts : int;
+  cas_wins : int;
+  barrier_fast_path : int;
+  live_at_end : int;
+  violation : string option;
+}
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "cycles=%d ops=%d allocs=%d frees=%d cas=%d/%d fastpath=%d live=%d %s" s.cycles s.ops
+    s.allocs s.frees s.cas_wins s.cas_attempts s.barrier_fast_path s.live_at_end
+    (match s.violation with None -> "SAFE" | Some m -> "UNSAFE: " ^ m)
+
+(* Reachability over the concrete heap (single-threaded, run only when the
+   world is stopped). *)
+let reachable_set heap roots =
+  let seen = Array.make heap.Rheap.n_slots false in
+  let rec visit r =
+    if r <> Rheap.null && not seen.(r) then begin
+      seen.(r) <- true;
+      if Rheap.is_allocated heap r then
+        for f = 0 to heap.Rheap.n_fields - 1 do
+          visit (Rheap.field heap r f)
+        done
+    end
+  in
+  List.iter visit roots;
+  seen
+
+let final_validation heap mutators =
+  let roots = List.concat_map Rmutator.root_refs mutators in
+  let seen = reachable_set heap roots in
+  let dangling = ref [] in
+  Array.iteri (fun r s -> if s && not (Rheap.is_allocated heap r) then dangling := r :: !dangling) seen;
+  match !dangling with
+  | [] -> None
+  | rs ->
+    Some
+      (Fmt.str "final validation: reachable-but-freed references: %a"
+         Fmt.(list ~sep:comma int)
+         rs)
+
+let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barriers = true)
+    ?(seed = 42) ?(workload = Rmutator.Uniform) ?(trace_pause = 0.) () =
+  let sh = Rshared.make ~trace_pause ~n_slots ~n_fields ~n_muts () in
+  (* seed each mutator with one root object *)
+  let mutators =
+    List.init n_muts (fun i ->
+        let r = Rheap.alloc sh.Rshared.heap ~mark:(Atomic.get sh.Rshared.f_a) in
+        Rmutator.make ~barriers sh i ~roots:[ r ])
+  in
+  let violation = Atomic.make None in
+  let mut_domains =
+    List.mapi
+      (fun i m ->
+        Domain.spawn (fun () ->
+            let rng = Random.State.make [| seed; i |] in
+            try Rmutator.run ~workload m rng
+            with Rmutator.Unsafe msg ->
+              Atomic.set violation (Some msg);
+              (* keep servicing handshakes so the collector can stop *)
+              while not (Atomic.get sh.Rshared.stop_muts) do
+                Rmutator.poll m;
+                Domain.cpu_relax ()
+              done))
+      mutators
+  in
+  let gc_domain = Domain.spawn (fun () -> Rcollector.run sh) in
+  Unix.sleepf duration;
+  Atomic.set sh.Rshared.stop true;
+  Domain.join gc_domain;
+  Atomic.set sh.Rshared.stop_muts true;
+  List.iter Domain.join mut_domains;
+  let violation =
+    match Atomic.get violation with
+    | Some m -> Some m
+    | None -> final_validation sh.Rshared.heap mutators
+  in
+  {
+    cycles = Atomic.get sh.Rshared.cycles;
+    ops = List.fold_left (fun n (m : Rmutator.t) -> n + m.Rmutator.ops) 0 mutators;
+    allocs = Atomic.get sh.Rshared.heap.Rheap.allocs;
+    frees = Atomic.get sh.Rshared.heap.Rheap.frees;
+    cas_attempts = Atomic.get sh.Rshared.cas_attempts;
+    cas_wins = Atomic.get sh.Rshared.cas_wins;
+    barrier_fast_path = Atomic.get sh.Rshared.barrier_fast_path;
+    live_at_end = Rheap.live_count sh.Rshared.heap;
+    violation;
+  }

@@ -1,0 +1,37 @@
+(** Stress harness for the concrete runtime: one collector domain cycling
+    continuously, [n_muts] mutator domains running a workload for a
+    wall-clock duration, with on-line root validation and a final
+    stop-the-world reachability audit. *)
+
+type stats = {
+  cycles : int;
+  ops : int;
+  allocs : int;
+  frees : int;
+  cas_attempts : int;
+  cas_wins : int;
+  barrier_fast_path : int;
+  live_at_end : int;
+  violation : string option;  (** [None] = SAFE *)
+}
+
+val pp_stats : stats Fmt.t
+
+val reachable_set : Rheap.t -> Rheap.rf list -> bool array
+(** Reachability over the concrete heap; only sound when the world is
+    stopped. *)
+
+val run :
+  ?n_muts:int ->
+  ?n_slots:int ->
+  ?n_fields:int ->
+  ?duration:float ->
+  ?barriers:bool ->
+  ?seed:int ->
+  ?workload:Rmutator.workload ->
+  ?trace_pause:float ->
+  unit ->
+  stats
+(** Run the harness.  [barriers:false] ablates the write barriers (the
+    Lists workload then faults within cycles); [trace_pause] widens the
+    collector's tracing window for few-core machines. *)

@@ -1,0 +1,72 @@
+(* The concrete collector thread: Fig. 2 as running code.
+
+   One call to [cycle] performs a full mark-sweep cycle — the four no-op
+   initialization handshakes, the root-marking handshake, the mark loop
+   with its termination handshakes, and the sweep.  [run] loops cycles
+   until the harness raises the stop flag. *)
+
+open Rshared
+
+let handshake sh typ =
+  Array.iter (fun slot -> Atomic.set slot typ) sh.hs_req;
+  Array.iter
+    (fun slot ->
+      while Atomic.get slot <> Hs_none do
+        Domain.cpu_relax ()
+      done)
+    sh.hs_req
+
+(* Scan greys depth-first: marking a child greys it onto the same stack;
+   popping an object blackens it (its children have been marked). *)
+let rec drain sh stack =
+  match stack with
+  | [] -> ()
+  | r :: rest ->
+    if sh.trace_pause > 0. then Unix.sleepf sh.trace_pause;
+    let stack = ref rest in
+    for f = 0 to sh.heap.Rheap.n_fields - 1 do
+      stack := mark sh (Rheap.field sh.heap r f) !stack
+    done;
+    drain sh !stack
+
+let cycle sh =
+  (* lines 3-4: everyone sees Idle; the heap is black *)
+  handshake sh Hs_nop;
+  (* line 5: flip the sense — the heap becomes white *)
+  Atomic.set sh.f_m (not (Atomic.get sh.f_m));
+  handshake sh Hs_nop;
+  (* line 8: barriers on *)
+  Atomic.set sh.phase Init;
+  handshake sh Hs_nop;
+  (* lines 11-12: allocate black from here on *)
+  Atomic.set sh.phase Mark;
+  Atomic.set sh.f_a (Atomic.get sh.f_m);
+  handshake sh Hs_nop;
+  (* lines 15-20: sample and mark the roots, raggedly *)
+  handshake sh Hs_get_roots;
+  (* lines 24-34: trace, then poll the mutators for leftover greys *)
+  let rec mark_loop () =
+    let w = take_global sh in
+    if w <> [] then begin
+      drain sh w;
+      handshake sh Hs_get_work;
+      mark_loop ()
+    end
+  in
+  mark_loop ();
+  (* lines 37-45: free the whites *)
+  Atomic.set sh.phase Sweep;
+  let sense = Atomic.get sh.f_m in
+  List.iter
+    (fun r -> if Rheap.mark sh.heap r <> sense then Rheap.free sh.heap r)
+    (Rheap.domain sh.heap);
+  (* line 46 *)
+  Atomic.set sh.phase Idle;
+  Atomic.incr sh.cycles
+
+let run sh =
+  while not (Atomic.get sh.stop) do
+    cycle sh
+  done;
+  (* release any mutator parked on a handshake we will never complete *)
+  Array.iter (fun slot -> Atomic.set slot Hs_none) sh.hs_req

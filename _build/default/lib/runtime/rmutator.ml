@@ -1,0 +1,198 @@
+(* A concrete mutator handle: the operations of Fig. 6 with both write
+   barriers compiled in, plus the GC-safe-point poll that services soft
+   handshakes.
+
+   Operations are barrier-complete and handshake-free, exactly as in the
+   model: [poll] is only called between operations.
+
+   Safety validation mirrors the headline theorem from the mutator's seat:
+   every root carries the slot epoch observed when it was adopted, and at
+   every GC-safe point the mutator asserts that each of its roots still
+   denotes a live object with that epoch — an object freed (or freed and
+   reused: the epoch catches the ABA case) while rooted is precisely a
+   valid_refs_inv violation, reported via [Unsafe]. *)
+
+open Rshared
+
+exception Unsafe of string
+
+type t = {
+  id : int;
+  sh : Rshared.t;
+  mutable roots : (Rheap.rf * int) list;  (* reference, adoption epoch *)
+  mutable wm : Rheap.rf list;  (* private work-list *)
+  barriers : bool;  (* ablation switch for the barrier-overhead bench *)
+  mutable ops : int;  (* statistics *)
+  mutable saw_get_roots : bool;  (* set when poll services a get-roots round *)
+}
+
+let make ?(barriers = true) sh id ~roots =
+  {
+    id;
+    sh;
+    roots = List.map (fun r -> (r, Rheap.epoch sh.heap r)) roots;
+    wm = [];
+    barriers;
+    ops = 0;
+    saw_get_roots = false;
+  }
+
+let unsafe t fmt =
+  Fmt.kstr
+    (fun msg ->
+      raise (Unsafe (Printf.sprintf "mutator %d (cycle %d): %s" t.id (Atomic.get t.sh.cycles) msg)))
+    fmt
+
+let root_refs t = List.map fst t.roots
+
+(* The headline check, from this mutator's perspective: all roots denote
+   live, un-recycled objects. *)
+let validate_roots t =
+  List.iter
+    (fun (r, e) ->
+      if not (Rheap.is_allocated t.sh.heap r) then unsafe t "rooted reference %d was freed" r
+      else if Rheap.epoch t.sh.heap r <> e then unsafe t "rooted reference %d was freed and reused" r)
+    t.roots
+
+let adopt t r =
+  if r <> Rheap.null && not (List.mem_assoc r t.roots) then
+    t.roots <- (r, Rheap.epoch t.sh.heap r) :: t.roots
+
+(* The mutator's side of the soft handshakes (Fig. 2's at-m blocks). *)
+let poll t =
+  match Atomic.get t.sh.hs_req.(t.id) with
+  | Hs_none -> ()
+  | Hs_nop -> Atomic.set t.sh.hs_req.(t.id) Hs_none
+  | Hs_get_roots ->
+    (* lines 17-20: mark own roots into the private work-list, transfer *)
+    List.iter (fun (r, _) -> t.wm <- mark t.sh r t.wm) t.roots;
+    transfer t.sh t.wm;
+    t.wm <- [];
+    t.saw_get_roots <- true;
+    Atomic.set t.sh.hs_req.(t.id) Hs_none
+  | Hs_get_work ->
+    (* lines 32-34 *)
+    transfer t.sh t.wm;
+    t.wm <- [];
+    Atomic.set t.sh.hs_req.(t.id) Hs_none
+
+(* Load (Fig. 6): read a field of a rooted object and adopt the result. *)
+let load t src f =
+  let v = Rheap.field t.sh.heap src f in
+  adopt t v;
+  t.ops <- t.ops + 1;
+  v
+
+(* Store (Fig. 6): deletion barrier on the overwritten value, insertion
+   barrier on the stored value, then the store itself. *)
+let store t src f dst =
+  if t.barriers then begin
+    t.wm <- mark t.sh (Rheap.field t.sh.heap src f) t.wm;  (* deletion barrier *)
+    t.wm <- mark t.sh dst t.wm  (* insertion barrier *)
+  end;
+  Rheap.set_field t.sh.heap src f dst;
+  t.ops <- t.ops + 1
+
+(* Alloc (Fig. 6): allocate with the current f_A sense and adopt. *)
+let alloc t =
+  let r = Rheap.alloc t.sh.heap ~mark:(Atomic.get t.sh.f_a) in
+  adopt t r;
+  t.ops <- t.ops + 1;
+  r
+
+let discard t r =
+  t.roots <- List.filter (fun (x, _) -> x <> r) t.roots;
+  t.ops <- t.ops + 1
+
+(* One random operation over the current roots. *)
+let random_op t rng =
+  match root_refs t with
+  | [] -> ignore (alloc t)
+  | roots -> (
+    let pick l = List.nth l (Random.State.int rng (List.length l)) in
+    let f = Random.State.int rng t.sh.heap.Rheap.n_fields in
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 -> ignore (load t (pick roots) f)
+    | 3 | 4 | 5 -> store t (pick roots) f (pick roots)
+    | 6 | 7 -> ignore (alloc t)
+    | 8 -> store t (pick roots) f Rheap.null (* delete an edge *)
+    | _ -> if List.length roots > 1 then discard t (pick roots))
+
+(* The Lists workload: each mutator owns a singly-linked list hanging off a
+   stable anchor root, and plays rounds of exactly the Fig. 1 scenario:
+
+     build   push a chain of fresh nodes behind the anchor;
+     grab    walk the chain deep, adopting interior nodes into the roots;
+     splice  cut the chain near the anchor, deleting (possibly ahead of the
+             collector's wavefront) the edges that grey-protect the
+             adopted nodes;
+     hold    keep the adopted roots across the next two collection cycles,
+             validating them at every safe point;
+     release and start over.
+
+   With the barriers in place the splice's deletion barrier greys the cut
+   tail and the adopted nodes survive; without it the collector never sees
+   them, the sweep frees them while rooted, and [validate_roots] faults. *)
+
+let anchor t = fst (List.nth t.roots (List.length t.roots - 1))
+
+(* A GC-safe point inside the workload driver. *)
+let safe_point t =
+  validate_roots t;
+  poll t
+
+let stopping t = Atomic.get t.sh.stop || Atomic.get t.sh.stop_muts
+
+let list_round t rng =
+  let a = anchor t in
+  let rec walk r k = if k = 0 || r = Rheap.null then r else walk (load t r 0) (k - 1) in
+  let push () =
+    let node = alloc t in
+    if node <> Rheap.null then begin
+      store t node 0 (Rheap.field t.sh.heap a 0);
+      store t a 0 node;
+      (* the fresh node is reachable via the anchor; no need to root it *)
+      discard t node
+    end
+  in
+  (* build while the collector is idle, so the chain is white for the
+     upcoming cycle *)
+  let len = 10 + Random.State.int rng 20 in
+  for _ = 1 to len do
+    safe_point t;
+    push ()
+  done;
+  (* wait until this mutator has just acked a get-roots round: the attack
+     window — its roots are sampled, the wavefront has barely moved *)
+  t.saw_get_roots <- false;
+  while (not t.saw_get_roots) && not (stopping t) do
+    safe_point t;
+    Domain.cpu_relax ()
+  done;
+  (* grab: adopt interior nodes (they are white and not in the snapshot) *)
+  ignore (walk a len);
+  (* splice ahead of the wavefront *)
+  let d = walk a (1 + Random.State.int rng 2) in
+  if d <> Rheap.null then store t d 0 Rheap.null;
+  (* hold the adopted roots across this cycle's sweep and the next *)
+  let c0 = Atomic.get t.sh.cycles in
+  while Atomic.get t.sh.cycles < c0 + 2 && not (stopping t) do
+    safe_point t;
+    Domain.cpu_relax ()
+  done;
+  (* release *)
+  t.roots <- [ List.nth t.roots (List.length t.roots - 1) ]
+
+type workload = Uniform | Lists
+
+(* The mutator thread body: service handshakes (validating roots at every
+   safe point) until the collector has stopped; perform workload operations
+   until the harness says stop. *)
+let run ?(workload = Uniform) t rng =
+  while not (Atomic.get t.sh.stop_muts) do
+    safe_point t;
+    if not (Atomic.get t.sh.stop) then begin
+      match workload with Uniform -> random_op t rng | Lists -> list_round t rng
+    end
+    else Domain.cpu_relax ()
+  done

@@ -1,0 +1,98 @@
+(* Shared control state between the concrete collector and its mutators:
+   the three control variables of Fig. 2, the handshake request slots, and
+   the global work-list.
+
+   The handshake protocol follows Fig. 4: the collector publishes the round
+   type into each mutator's request slot; the mutator notices it at a
+   GC-safe point, does the round's work (marking its own roots, or
+   transferring its private work-list), and clears the slot; the collector
+   waits for all slots to clear.  Atomics provide the fences the paper
+   requires of the pthread primitives. *)
+
+type phase = Idle | Init | Mark | Sweep
+
+type hs = Hs_none | Hs_nop | Hs_get_roots | Hs_get_work
+
+type t = {
+  heap : Rheap.t;
+  f_m : bool Atomic.t;  (* sense of the marks *)
+  f_a : bool Atomic.t;  (* sense used by allocation *)
+  phase : phase Atomic.t;
+  hs_req : hs Atomic.t array;  (* per mutator *)
+  global_w_lock : Mutex.t;
+  mutable global_w : Rheap.rf list;  (* the collector's W *)
+  trace_pause : float;
+    (* seconds to pause between greys while tracing: 0 in production; the
+       stress harness widens the tracing window with it so that the barrier
+       ablations become observable on few-core machines (the abstract model
+       checker needs no such help) *)
+  stop : bool Atomic.t;  (* harness: collector should stop after this cycle *)
+  stop_muts : bool Atomic.t;
+    (* harness: mutators may exit — raised only after the collector has
+       stopped, since a live collector blocks on their handshake acks *)
+  (* statistics *)
+  cycles : int Atomic.t;
+  cas_attempts : int Atomic.t;
+  cas_wins : int Atomic.t;
+  barrier_fast_path : int Atomic.t;
+}
+
+let make ?(trace_pause = 0.) ~n_slots ~n_fields ~n_muts () =
+  {
+    heap = Rheap.make ~n_slots ~n_fields;
+    trace_pause;
+    f_m = Atomic.make false;
+    f_a = Atomic.make false;
+    phase = Atomic.make Idle;
+    hs_req = Array.init n_muts (fun _ -> Atomic.make Hs_none);
+    global_w_lock = Mutex.create ();
+    global_w = [];
+    stop = Atomic.make false;
+    stop_muts = Atomic.make false;
+    cycles = Atomic.make 0;
+    cas_attempts = Atomic.make 0;
+    cas_wins = Atomic.make 0;
+    barrier_fast_path = Atomic.make 0;
+  }
+
+let n_muts sh = Array.length sh.hs_req
+
+(* Atomic W <- W u Wm (Fig. 2 lines 20/34); called by the owner of [wm]. *)
+let transfer sh wm =
+  if wm <> [] then begin
+    Mutex.lock sh.global_w_lock;
+    sh.global_w <- List.rev_append wm sh.global_w;
+    Mutex.unlock sh.global_w_lock
+  end
+
+let take_global sh =
+  Mutex.lock sh.global_w_lock;
+  let w = sh.global_w in
+  sh.global_w <- [];
+  Mutex.unlock sh.global_w_lock;
+  w
+
+(* The mark operation of Fig. 5, shared by the collector and every barrier:
+   double-checked so that the expensive CAS runs only when the flag test
+   and the phase test both pass.  Appends to the caller's private
+   work-list; returns it. *)
+let mark sh r wm =
+  if r = Rheap.null || not (Rheap.is_allocated sh.heap r) then wm
+  else begin
+    let sense = Atomic.get sh.f_m in
+    if Rheap.mark sh.heap r <> sense then begin
+      if Atomic.get sh.phase <> Idle then begin
+        Atomic.incr sh.cas_attempts;
+        if Rheap.try_mark sh.heap r ~sense then begin
+          Atomic.incr sh.cas_wins;
+          r :: wm
+        end
+        else wm  (* some other thread won and greyed it *)
+      end
+      else wm
+    end
+    else begin
+      Atomic.incr sh.barrier_fast_path;
+      wm
+    end
+  end

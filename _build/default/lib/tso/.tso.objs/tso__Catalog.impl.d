@@ -1,0 +1,1 @@
+lib/tso/catalog.ml: List Litmus Machine

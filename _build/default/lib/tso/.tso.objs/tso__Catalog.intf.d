@@ -1,0 +1,1 @@
+lib/tso/catalog.mli: Litmus

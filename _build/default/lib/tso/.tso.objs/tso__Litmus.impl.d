@@ -1,0 +1,1 @@
+lib/tso/litmus.ml: Array Fmt Hashtbl List Machine String

@@ -1,0 +1,1 @@
+lib/tso/litmus.mli: Fmt Machine

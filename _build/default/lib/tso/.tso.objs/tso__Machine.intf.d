@@ -1,0 +1,1 @@
+lib/tso/machine.mli: Fmt

@@ -1,0 +1,46 @@
+(** Litmus-test harness: architecture-level thread programs, exhaustive
+    enumeration of final-state observations under TSO and SC, and
+    verdicts against the published x86-TSO classifications (experiment
+    E9). *)
+
+type instr =
+  | Ld of Machine.reg * Machine.addr
+  | St of Machine.addr * Machine.operand
+  | Mf
+  | Xchg of Machine.reg * Machine.addr * Machine.operand
+      (** LOCK XCHG: expands to Lock/Load/Store/Unlock *)
+
+val compile_instr : instr -> Machine.micro list
+val compile_thread : instr list -> Machine.micro array
+
+type test = {
+  name : string;
+  description : string;
+  mem_size : int;
+  n_regs : int;
+  threads : instr list list;
+  observed_regs : (Machine.tid * Machine.reg) list;
+  observed_mem : Machine.addr list;
+  target : int list;  (** the candidate relaxed outcome *)
+  allowed_tso : bool;  (** published classification under x86-TSO *)
+  allowed_sc : bool;
+}
+
+val outcomes : ?mode:Machine.mode -> test -> int list list * int
+(** Exhaustively enumerate the final-state observations; also returns the
+    number of distinct machine states explored. *)
+
+type verdict = {
+  test : test;
+  tso_outcomes : int list list;
+  sc_outcomes : int list list;
+  tso_states : int;
+  sc_states : int;
+  tso_observed : bool;
+  sc_observed : bool;
+  ok : bool;  (** matches the published classification *)
+}
+
+val run : test -> verdict
+val pp_outcome : int list Fmt.t
+val pp_verdict : verdict Fmt.t

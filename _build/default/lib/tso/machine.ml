@@ -1,0 +1,165 @@
+(* An operational x86-TSO machine after Sewell et al. [35], the memory model
+   the paper verifies against (Section 2.4, Fig. 9).
+
+   Each hardware thread has a FIFO store buffer; stores are buffered and
+   asynchronously committed to shared memory; loads snoop the issuing
+   thread's own buffer (most recent store to the address wins) before
+   falling through to memory; MFENCE waits for the issuing thread's buffer
+   to drain; LOCK'd instruction sequences hold a global machine lock that
+   blocks other threads' memory reads and buffer commits, and release
+   requires an empty buffer — giving LOCK'd instructions their
+   flush-and-publish semantics.
+
+   The same machine degraded with [mode = SC] commits stores immediately,
+   yielding the sequentially consistent baseline used by the litmus
+   experiments (E9) to exhibit exactly the relaxed behaviours x86-TSO adds.
+
+   States are immutable plain data so exploration can memoise them with
+   polymorphic hashing. *)
+
+type addr = int
+type value = int
+type reg = int
+type tid = int
+
+type mode = TSO | SC | PSO
+(* PSO: like TSO but store buffers are only per-address FIFO — stores to
+   *different* addresses may commit out of order (partial store order, the
+   first weakening on the road to ARM/POWER that Section 4 contemplates). *)
+
+(* Micro-operations.  Litmus-level instructions (Litmus.instr) compile down
+   to these; LOCK'd read-modify-writes become Lock/.../Unlock sequences as
+   in Fig. 9. *)
+type micro =
+  | Load of reg * addr
+  | Load_reg of reg * addr * reg
+    (* [Load_reg (r, base, idx)]: load from address [base + regs.(idx)] *)
+  | Store of addr * operand
+  | Mfence
+  | Lock
+  | Unlock
+  | Jump_if_eq of reg * value * int  (* relative branch for tiny loops *)
+
+and operand = Imm of value | Reg of reg
+
+type thread = {
+  code : micro array;
+  pc : int;
+  regs : value list;  (* indexed by register number *)
+  buf : (addr * value) list;  (* oldest first *)
+}
+
+type state = {
+  mode : mode;
+  mem : value list;  (* indexed by address *)
+  threads : thread list;
+  lock : tid option;
+}
+
+type label =
+  | Exec of tid * int  (* thread t executed the micro-op at pc *)
+  | Commit of tid      (* system committed t's oldest buffered store *)
+
+let pp_label ppf = function
+  | Exec (t, pc) -> Fmt.pf ppf "t%d@%d" t pc
+  | Commit t -> Fmt.pf ppf "commit(t%d)" t
+
+let nth_set xs i v = List.mapi (fun j x -> if j = i then v else x) xs
+
+let initial ?(mode = TSO) ~mem_size ~n_regs codes =
+  {
+    mode;
+    mem = List.init mem_size (fun _ -> 0);
+    threads =
+      List.map (fun code -> { code; pc = 0; regs = List.init n_regs (fun _ -> 0); buf = [] }) codes;
+    lock = None;
+  }
+
+(* A thread is blocked when another thread holds the machine lock. *)
+let not_blocked st t = match st.lock with None -> true | Some owner -> owner = t
+
+(* Buffer-forwarding read: most recent buffered store to [a] by this thread,
+   else shared memory. *)
+let read_value st th a =
+  let rec newest acc = function
+    | [] -> acc
+    | (a', v) :: rest -> newest (if a' = a then Some v else acc) rest
+  in
+  match newest None th.buf with Some v -> v | None -> List.nth st.mem a
+
+let operand_value th = function Imm v -> v | Reg r -> List.nth th.regs r
+
+
+let set_thread st t th = { st with threads = nth_set st.threads t th }
+
+let done_ th = th.pc >= Array.length th.code
+
+(* All successors of a state, labelled. *)
+let steps st =
+  let acc = ref [] in
+  let push l s = acc := (l, s) :: !acc in
+  List.iteri
+    (fun t th ->
+      (* Commit rule.  TSO: dequeue t's oldest write.  PSO: dequeue any
+         buffered write with no older write to the same address (coherence
+         is kept; cross-address order is not). *)
+      (if not_blocked st t then
+         match st.mode with
+         | TSO | SC -> (
+           match th.buf with
+           | (a, v) :: rest ->
+             push (Commit t) (set_thread { st with mem = nth_set st.mem a v } t { th with buf = rest })
+           | [] -> ())
+         | PSO ->
+           List.iteri
+             (fun i (a, v) ->
+               let older_same =
+                 List.exists (fun (a', _) -> a' = a) (List.filteri (fun j _ -> j < i) th.buf)
+               in
+               if not older_same then begin
+                 let buf = List.filteri (fun j _ -> j <> i) th.buf in
+                 push (Commit t) (set_thread { st with mem = nth_set st.mem a v } t { th with buf })
+               end)
+             th.buf);
+      if not (done_ th) then begin
+        let advance th' = set_thread st t { th' with pc = th.pc + 1 } in
+        match th.code.(th.pc) with
+        | Load (r, a) ->
+          if not_blocked st t then
+            push (Exec (t, th.pc)) (advance { th with regs = nth_set th.regs r (read_value st th a) })
+        | Load_reg (r, base, idx) ->
+          if not_blocked st t then begin
+            let a = base + List.nth th.regs idx in
+            push (Exec (t, th.pc)) (advance { th with regs = nth_set th.regs r (read_value st th a) })
+          end
+        | Store (a, op) ->
+          let v = operand_value th op in
+          if st.mode = SC then begin
+            (* SC baseline: the store is globally visible at once. *)
+            if not_blocked st t then
+              push (Exec (t, th.pc)) (set_thread { st with mem = nth_set st.mem a v } t { th with pc = th.pc + 1 })
+          end
+          else push (Exec (t, th.pc)) (advance { th with buf = th.buf @ [ (a, v) ] })
+        | Mfence -> if th.buf = [] then push (Exec (t, th.pc)) (advance th)
+        | Lock ->
+          if st.lock = None then
+            push (Exec (t, th.pc)) { (advance th) with lock = Some t }
+        | Unlock ->
+          if st.lock = Some t && th.buf = [] then
+            push (Exec (t, th.pc)) { (advance th) with lock = None }
+        | Jump_if_eq (r, v, delta) ->
+          if not_blocked st t then begin
+            let target = if List.nth th.regs r = v then th.pc + delta else th.pc + 1 in
+            push (Exec (t, th.pc)) (set_thread st t { th with pc = target })
+          end
+      end)
+    st.threads;
+  !acc
+
+(* Final: every thread has retired all its instructions and drained its
+   buffer, and the lock is free. *)
+let final st =
+  st.lock = None && List.for_all (fun th -> done_ th && th.buf = []) st.threads
+
+let regs_of st = List.map (fun th -> th.regs) st.threads
+let mem_of st = st.mem

@@ -1,0 +1,54 @@
+(** An operational x86-TSO machine after Sewell et al., the memory model the
+    paper verifies against (Section 2.4, Fig. 9): per-thread FIFO store
+    buffers with forwarding, MFENCE, and a global machine lock for LOCK'd
+    instruction sequences.  [SC] mode commits stores immediately — the
+    sequentially consistent baseline of experiment E9.
+
+    States are immutable plain data, so exploration can memoise them. *)
+
+type addr = int
+type value = int
+type reg = int
+type tid = int
+
+type mode =
+  | TSO
+  | SC
+  | PSO
+      (** partial store order: per-address FIFO only; stores to different
+          addresses may commit out of order (the first weakening toward
+          ARM/POWER that the paper's Section 4 contemplates) *)
+
+type micro =
+  | Load of reg * addr
+  | Load_reg of reg * addr * reg  (** load from [base + regs.(idx)] *)
+  | Store of addr * operand
+  | Mfence  (** blocks until the issuing thread's buffer drains *)
+  | Lock  (** begin a LOCK'd sequence: blocks others' reads and commits *)
+  | Unlock  (** requires the holder's buffer empty: flush-and-publish *)
+  | Jump_if_eq of reg * value * int  (** relative branch *)
+
+and operand = Imm of value | Reg of reg
+
+type thread = { code : micro array; pc : int; regs : value list; buf : (addr * value) list }
+type state = { mode : mode; mem : value list; threads : thread list; lock : tid option }
+
+type label = Exec of tid * int | Commit of tid
+
+val pp_label : label Fmt.t
+
+val initial : ?mode:mode -> mem_size:int -> n_regs:int -> micro array list -> state
+val steps : state -> (label * state) list
+(** All successors: each thread's next instruction (when enabled) and the
+    storage subsystem committing some thread's oldest buffered store. *)
+
+val final : state -> bool
+(** All threads retired, all buffers drained, lock free. *)
+
+val not_blocked : state -> tid -> bool
+val read_value : state -> thread -> addr -> value
+(** Buffer-forwarding read: the thread's newest buffered store to the
+    address, else shared memory. *)
+
+val regs_of : state -> value list list
+val mem_of : state -> value list

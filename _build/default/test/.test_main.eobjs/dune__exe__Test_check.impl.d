@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Check Cimp Com List QCheck QCheck_alcotest System

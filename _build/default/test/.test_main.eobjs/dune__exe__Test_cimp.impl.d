@@ -1,0 +1,1 @@
+test/test_cimp.ml: Alcotest Cimp Com List Printf System

@@ -1,0 +1,1 @@
+test/test_cimp_lang.ml: Alcotest Check Cimp Cimp_lang Fmt List

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Cimp Core Gcheap List String

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_check Test_cimp Test_cimp_lang Test_core Test_heap Test_invariants Test_runtime Test_safety Test_tso

@@ -1,0 +1,1 @@
+test/test_safety.ml: Alcotest Check Cimp Core List Option String

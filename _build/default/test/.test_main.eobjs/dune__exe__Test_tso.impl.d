@@ -1,0 +1,1 @@
+test/test_tso.ml: Alcotest Hashtbl List Printf QCheck QCheck_alcotest Tso

@@ -1,0 +1,145 @@
+(* Tests for the checking harness: exact state counts on hand-built
+   systems, shortest-counterexample reconstruction, the random walker, and
+   fingerprint discipline. *)
+
+open Cimp
+
+type com = (int, int, int) Com.t
+
+let proc c data = Com.make [ c ] data
+
+(* A diamond: two independent one-step processes => exactly 4 states. *)
+let diamond () =
+  let p : com = Com.Local_op ("p", fun s -> [ s + 1 ]) in
+  System.make [| "p"; "q" |] [| proc p 0; proc p 0 |]
+
+let test_exact_state_count () =
+  let o = Check.Explore.run ~normal_form:false ~invariants:[] (diamond ()) in
+  Alcotest.(check int) "diamond has 4 states" 4 o.Check.Explore.states;
+  Alcotest.(check int) "4 transitions" 4 o.Check.Explore.transitions;
+  Alcotest.(check int) "depth 2" 2 o.Check.Explore.depth;
+  Alcotest.(check int) "one terminal" 1 o.Check.Explore.deadlocks;
+  Alcotest.(check bool) "closed" false o.Check.Explore.truncated
+
+let test_normal_form_collapses_diamond () =
+  (* with eager definite taus the whole diamond collapses into one state *)
+  let o = Check.Explore.run ~normal_form:true ~invariants:[] (diamond ()) in
+  Alcotest.(check int) "single normal form" 1 o.Check.Explore.states
+
+let test_truncation () =
+  (* an unbounded counter never closes *)
+  let p : com = Com.Loop (Com.Local_op ("inc", fun s -> [ s + 1; s + 2 ])) in
+  let sys = System.make [| "p" |] [| proc p 0 |] in
+  let o = Check.Explore.run ~max_states:50 ~invariants:[] sys in
+  Alcotest.(check bool) "truncated" true o.Check.Explore.truncated;
+  Alcotest.(check int) "capped" 50 o.Check.Explore.states
+
+let test_shortest_counterexample () =
+  (* two routes to the bad value: length 3 (via +1 steps) and length 1
+     (via +3); BFS must return the short one *)
+  let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 3 ])) in
+  let sys = System.make [| "p" |] [| proc p 0 |] in
+  let o =
+    Check.Explore.run ~invariants:[ ("not-three", fun sys -> (System.proc sys 0).Com.data <> 3) ] sys
+  in
+  match o.Check.Explore.violation with
+  | Some tr ->
+    Alcotest.(check string) "names the invariant" "not-three" tr.Check.Trace.broken;
+    Alcotest.(check int) "shortest trace" 1 (Check.Trace.length tr);
+    Alcotest.(check int) "final state violates" 3 (System.proc (Check.Trace.final tr) 0).Com.data
+  | None -> Alcotest.fail "violation expected"
+
+let test_trace_replays () =
+  let p : com =
+    Com.seq
+      [
+        Com.Local_op ("a", fun s -> [ s + 1 ]);
+        Com.Local_op ("b", fun s -> [ s * 2 ]);
+        Com.Local_op ("c", fun s -> [ s + 5 ]);
+      ]
+  in
+  let sys = System.make [| "p" |] [| proc p 3 |] in
+  let o =
+    Check.Explore.run ~normal_form:false
+      ~invariants:[ ("never-13", fun sys -> (System.proc sys 0).Com.data <> 13) ]
+      sys
+  in
+  match o.Check.Explore.violation with
+  | Some tr ->
+    Alcotest.(check int) "3 steps" 3 (Check.Trace.length tr);
+    (* events in order *)
+    let labels =
+      List.map
+        (fun (s : _ Check.Trace.step) ->
+          match s.Check.Trace.event with System.Tau (_, l) -> l | _ -> "?")
+        tr.Check.Trace.steps
+    in
+    Alcotest.(check (list string)) "schedule order" [ "a"; "b"; "c" ] labels
+  | None -> Alcotest.fail "13 = (3+1)*2+5 must be reached"
+
+let test_initial_state_checked () =
+  let sys = diamond () in
+  let o = Check.Explore.run ~invariants:[ ("no", fun _ -> false) ] sys in
+  match o.Check.Explore.violation with
+  | Some tr -> Alcotest.(check int) "violation at depth 0" 0 (Check.Trace.length tr)
+  | None -> Alcotest.fail "initial state must be checked"
+
+let test_random_walk_finds_violation () =
+  let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 2 ])) in
+  let sys = System.make [| "p" |] [| proc p 0 |] in
+  let o =
+    Check.Random_walk.run ~steps:1_000
+      ~invariants:[ ("below-20", fun sys -> (System.proc sys 0).Com.data < 20) ]
+      sys
+  in
+  (match o.Check.Random_walk.violation with
+  | Some tr ->
+    Alcotest.(check bool) "final state is the offender" true
+      ((System.proc (Check.Trace.final tr) 0).Com.data >= 20)
+  | None -> Alcotest.fail "walker must trip the bound");
+  Alcotest.(check bool) "steps counted" true (o.Check.Random_walk.steps_taken > 0)
+
+let test_random_walk_deterministic_seed () =
+  let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 2 ])) in
+  let sys () = System.make [| "p" |] [| proc p 0 |] in
+  let run seed =
+    (Check.Random_walk.run ~seed ~steps:100 ~invariants:[] (sys ())).Check.Random_walk.steps_taken
+  in
+  Alcotest.(check int) "same seed, same walk" (run 7) (run 7)
+
+let test_fingerprints () =
+  let sys0 = diamond () in
+  let fp0 = Check.Fingerprint.of_system sys0 in
+  Alcotest.(check bool) "reflexive" true (Check.Fingerprint.equal fp0 (Check.Fingerprint.of_system (diamond ())));
+  match System.steps sys0 with
+  | (_, sys1) :: _ ->
+    Alcotest.(check bool) "progress changes the fingerprint" false
+      (Check.Fingerprint.equal fp0 (Check.Fingerprint.of_system sys1))
+  | [] -> Alcotest.fail "diamond must step"
+
+(* qcheck: exploration of a random branching counter visits exactly the
+   values representable as ordered sums of the branch increments, and the
+   state count equals the number of distinct reachable values (+ control). *)
+let prop_explore_counts_reachable_values =
+  QCheck.Test.make ~name:"explorer visits each reachable value once" ~count:50
+    QCheck.(pair (int_range 1 3) (int_range 1 3))
+    (fun (a, b) ->
+      let p : com = Com.Local_op ("x", fun s -> [ s + a; s + b ]) in
+      let sys = System.make [| "p" |] [| proc p 0 |] in
+      let o = Check.Explore.run ~normal_form:false ~invariants:[] sys in
+      let expected = if a = b then 2 else 3 in
+      o.Check.Explore.states = expected)
+
+let suite =
+  [
+    Alcotest.test_case "exact state counts" `Quick test_exact_state_count;
+    Alcotest.test_case "normal form collapses invisible steps" `Quick test_normal_form_collapses_diamond;
+    Alcotest.test_case "truncation at the cap" `Quick test_truncation;
+    Alcotest.test_case "BFS returns a shortest counterexample" `Quick test_shortest_counterexample;
+    Alcotest.test_case "traces replay the schedule in order" `Quick test_trace_replays;
+    Alcotest.test_case "the initial state is checked" `Quick test_initial_state_checked;
+    Alcotest.test_case "random walks find violations" `Quick test_random_walk_finds_violation;
+    Alcotest.test_case "walks are seed-deterministic" `Quick test_random_walk_deterministic_seed;
+    Alcotest.test_case "fingerprint discipline" `Quick test_fingerprints;
+    QCheck_alcotest.to_alcotest prop_explore_counts_reachable_values;
+  ]

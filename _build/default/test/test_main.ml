@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "relaxing_safely"
+    [
+      ("cimp", Test_cimp.suite);
+      ("cimp-lang", Test_cimp_lang.suite);
+      ("heap", Test_heap.suite);
+      ("tso", Test_tso.suite);
+      ("core", Test_core.suite);
+      ("check", Test_check.suite);
+      ("invariants", Test_invariants.suite);
+      ("safety", Test_safety.suite);
+      ("runtime", Test_runtime.suite);
+    ]

@@ -1,0 +1,228 @@
+(* Tests for the x86-TSO machine (Fig. 9 / Sewell et al.): store-buffer
+   FIFO discipline, forwarding, fences, the machine lock, and the litmus
+   catalogue's published classifications. *)
+
+module M = Tso.Machine
+module L = Tso.Litmus
+
+let x = 0
+let y = 1
+
+(* Drive a single-thread machine deterministically: prefer Exec over
+   Commit so the buffer fills, then drain. *)
+let rec exec_all st =
+  match List.find_opt (function M.Exec _, _ -> true | _ -> false) (M.steps st) with
+  | Some (_, st') -> exec_all st'
+  | None -> st
+
+let rec drain st =
+  match List.find_opt (function M.Commit _, _ -> true | _ -> false) (M.steps st) with
+  | Some (_, st') -> drain st'
+  | None -> st
+
+let test_buffered_store_invisible () =
+  let code = [| M.Store (x, M.Imm 1) |] in
+  let st = exec_all (M.initial ~mem_size:2 ~n_regs:1 [ code ]) in
+  Alcotest.(check int) "memory unchanged before commit" 0 (List.nth (M.mem_of st) x);
+  let st = drain st in
+  Alcotest.(check int) "visible after commit" 1 (List.nth (M.mem_of st) x)
+
+let test_forwarding () =
+  (* a thread reads its own buffered store *)
+  let code = [| M.Store (x, M.Imm 5); M.Load (0, x) |] in
+  let st = exec_all (M.initial ~mem_size:2 ~n_regs:1 [ code ]) in
+  Alcotest.(check int) "forwarded value" 5 (List.nth (List.hd (M.regs_of st)) 0);
+  Alcotest.(check int) "memory still stale" 0 (List.nth (M.mem_of st) x)
+
+let test_forwarding_newest_wins () =
+  let code = [| M.Store (x, M.Imm 1); M.Store (x, M.Imm 2); M.Load (0, x) |] in
+  let st = exec_all (M.initial ~mem_size:2 ~n_regs:1 [ code ]) in
+  Alcotest.(check int) "newest buffered store wins" 2 (List.nth (List.hd (M.regs_of st)) 0)
+
+let test_fifo_commit_order () =
+  let code = [| M.Store (x, M.Imm 1); M.Store (y, M.Imm 2) |] in
+  let st = exec_all (M.initial ~mem_size:2 ~n_regs:1 [ code ]) in
+  (* first commit must be the store to x *)
+  match List.find_opt (function M.Commit _, _ -> true | _ -> false) (M.steps st) with
+  | Some (_, st') ->
+    Alcotest.(check int) "x committed first" 1 (List.nth (M.mem_of st') x);
+    Alcotest.(check int) "y still buffered" 0 (List.nth (M.mem_of st') y)
+  | None -> Alcotest.fail "commit expected"
+
+let test_mfence_blocks_until_drained () =
+  let code = [| M.Store (x, M.Imm 1); M.Mfence; M.Load (0, y) |] in
+  let st = exec_all (M.initial ~mem_size:2 ~n_regs:1 [ code ]) in
+  (* exec_all stopped at the fence: pc = 1, buffer non-empty *)
+  Alcotest.(check int) "memory after forced drain" 1 (List.nth (M.mem_of (drain st)) x);
+  let st' = exec_all (drain st) in
+  Alcotest.(check bool) "fence passes after drain" true (M.final (drain st'))
+
+let test_lock_blocks_other_reads () =
+  let t0 = [| M.Lock; M.Store (x, M.Imm 1); M.Unlock |] in
+  let t1 = [| M.Load (0, x) |] in
+  let st = M.initial ~mem_size:2 ~n_regs:1 [ t0; t1 ] in
+  (* t0 takes the lock *)
+  let st =
+    match List.find_opt (function M.Exec (0, _), _ -> true | _ -> false) (M.steps st) with
+    | Some (_, st') -> st'
+    | None -> Alcotest.fail "t0 must be able to lock"
+  in
+  Alcotest.(check bool) "t1's load is blocked" false
+    (List.exists (function M.Exec (1, _), _ -> true | _ -> false) (M.steps st))
+
+let test_unlock_requires_empty_buffer () =
+  let t0 = [| M.Lock; M.Store (x, M.Imm 1); M.Unlock |] in
+  let st = M.initial ~mem_size:2 ~n_regs:1 [ t0 ] in
+  let take_exec st =
+    match List.find_opt (function M.Exec _, _ -> true | _ -> false) (M.steps st) with
+    | Some (_, st') -> st'
+    | None -> st
+  in
+  let st = take_exec st (* lock *) in
+  let st = take_exec st (* buffered store *) in
+  (* unlock is not enabled until the buffer drains *)
+  Alcotest.(check bool) "unlock blocked" true
+    (List.for_all (function M.Exec _, _ -> false | _ -> true) (M.steps st));
+  let st = drain st in
+  let st = take_exec st (* unlock *) in
+  Alcotest.(check bool) "done" true (M.final (drain st))
+
+let test_sc_mode_commits_immediately () =
+  let code = [| M.Store (x, M.Imm 1) |] in
+  let st = M.initial ~mode:M.SC ~mem_size:2 ~n_regs:1 [ code ] in
+  match M.steps st with
+  | [ (M.Exec (0, 0), st') ] ->
+    Alcotest.(check int) "store visible at once" 1 (List.nth (M.mem_of st') x)
+  | _ -> Alcotest.fail "single step expected"
+
+let test_jump_if_eq () =
+  (* r0 := mem[x]; if r0 = 0 jump back to the load (spin until x set) *)
+  let spin = [| M.Load (0, x); M.Jump_if_eq (0, 0, -1); M.Store (y, M.Imm 1) |] in
+  let setter = [| M.Store (x, M.Imm 1) |] in
+  let st = M.initial ~mem_size:2 ~n_regs:1 [ spin; setter ] in
+  (* exhaustive exploration must find a final state with y = 1 *)
+  let seen = Hashtbl.create 128 in
+  let found = ref false in
+  let rec go st =
+    if not (Hashtbl.mem seen st) then begin
+      Hashtbl.add seen st ();
+      if M.final st && List.nth (M.mem_of st) y = 1 then found := true;
+      List.iter (fun (_, st') -> go st') (M.steps st)
+    end
+  in
+  go st;
+  Alcotest.(check bool) "spin loop completes" true !found
+
+(* -- Litmus catalogue ------------------------------------------------------ *)
+
+let test_catalogue_classifications () =
+  List.iter
+    (fun (v : L.verdict) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s matches x86-TSO" v.L.test.L.name)
+        true v.L.ok)
+    (Tso.Catalog.run_all ())
+
+let test_sb_outcome_sets () =
+  let v = L.run Tso.Catalog.sb in
+  (* under SC, exactly the three Dekker outcomes *)
+  Alcotest.(check int) "SC outcome count" 3 (List.length v.L.sc_outcomes);
+  Alcotest.(check int) "TSO outcome count" 4 (List.length v.L.tso_outcomes);
+  Alcotest.(check bool) "TSO strictly richer" true
+    (List.for_all (fun o -> List.mem o v.L.tso_outcomes) v.L.sc_outcomes)
+
+let test_tso_explores_more_states () =
+  let _, tso = L.outcomes ~mode:M.TSO Tso.Catalog.sb in
+  let _, sc = L.outcomes ~mode:M.SC Tso.Catalog.sb in
+  Alcotest.(check bool) "TSO state space larger" true (tso > sc)
+
+let test_pso_classifications () =
+  List.iter
+    (fun (name, expect, got) ->
+      Alcotest.(check bool) (name ^ " under PSO") expect got)
+    (Tso.Catalog.run_pso ())
+
+let test_pso_mp_details () =
+  (* the PSO-only outcome: the message arrives before the data *)
+  let outcomes, _ = L.outcomes ~mode:M.PSO Tso.Catalog.mp in
+  Alcotest.(check bool) "stale read reachable" true (List.mem [ 1; 0 ] outcomes);
+  (* and TSO forbids exactly that one *)
+  let tso_outcomes, _ = L.outcomes ~mode:M.TSO Tso.Catalog.mp in
+  Alcotest.(check bool) "but not under TSO" false (List.mem [ 1; 0 ] tso_outcomes)
+
+let test_xchg_is_atomic () =
+  (* two racing LOCK XCHGs on one cell: exactly one thread observes 0 *)
+  let t r = [ L.Xchg (r, x, M.Imm 1) ] in
+  let test =
+    {
+      L.name = "xchg-race";
+      description = "racing atomic exchanges";
+      mem_size = 1;
+      n_regs = 1;
+      threads = [ t 0; t 0 ];
+      observed_regs = [ (0, 0); (1, 0) ];
+      observed_mem = [ x ];
+      target = [ 0; 0; 1 ];
+      allowed_tso = false;
+      allowed_sc = false;
+    }
+  in
+  let outcomes, _ = L.outcomes ~mode:M.TSO test in
+  Alcotest.(check (list (list int))) "exactly one winner" [ [ 0; 1; 1 ]; [ 1; 0; 1 ] ] outcomes
+
+(* qcheck: in any reachable final state of a single-threaded program, TSO
+   and SC agree (TSO relaxations need concurrency to be observable). *)
+let arbitrary_program =
+  let open QCheck.Gen in
+  let instr =
+    frequency
+      [
+        (3, map2 (fun a v -> L.St (a, M.Imm v)) (int_bound 1) (int_range 1 3));
+        (3, map2 (fun r a -> L.Ld (r, a)) (int_bound 1) (int_bound 1));
+        (1, return L.Mf);
+        (1, map2 (fun r a -> L.Xchg (r, a, M.Imm 9)) (int_bound 1) (int_bound 1));
+      ]
+  in
+  QCheck.make
+    ~print:(fun p -> Printf.sprintf "<%d instrs>" (List.length p))
+    (list_size (int_bound 6) instr)
+
+let prop_single_thread_tso_is_sc =
+  QCheck.Test.make ~name:"single-threaded TSO = SC" ~count:100 arbitrary_program (fun prog ->
+      let test =
+        {
+          L.name = "gen";
+          description = "";
+          mem_size = 2;
+          n_regs = 2;
+          threads = [ prog ];
+          observed_regs = [ (0, 0); (0, 1) ];
+          observed_mem = [ 0; 1 ];
+          target = [];
+          allowed_tso = false;
+          allowed_sc = false;
+        }
+      in
+      let tso, _ = L.outcomes ~mode:M.TSO test in
+      let sc, _ = L.outcomes ~mode:M.SC test in
+      tso = sc)
+
+let suite =
+  [
+    Alcotest.test_case "buffered stores are locally invisible" `Quick test_buffered_store_invisible;
+    Alcotest.test_case "store-buffer forwarding" `Quick test_forwarding;
+    Alcotest.test_case "forwarding: newest store wins" `Quick test_forwarding_newest_wins;
+    Alcotest.test_case "buffers commit in FIFO order" `Quick test_fifo_commit_order;
+    Alcotest.test_case "mfence waits for the buffer" `Quick test_mfence_blocks_until_drained;
+    Alcotest.test_case "the machine lock blocks other readers" `Quick test_lock_blocks_other_reads;
+    Alcotest.test_case "unlock needs an empty buffer" `Quick test_unlock_requires_empty_buffer;
+    Alcotest.test_case "SC mode commits immediately" `Quick test_sc_mode_commits_immediately;
+    Alcotest.test_case "conditional branch (spin loop)" `Quick test_jump_if_eq;
+    Alcotest.test_case "litmus catalogue matches x86-TSO" `Quick test_catalogue_classifications;
+    Alcotest.test_case "SB outcome sets (3 vs 4)" `Quick test_sb_outcome_sets;
+    Alcotest.test_case "TSO reaches more states than SC" `Quick test_tso_explores_more_states;
+    Alcotest.test_case "PSO probe classifications" `Quick test_pso_classifications;
+    Alcotest.test_case "PSO admits MP's stale read; TSO does not" `Quick test_pso_mp_details;
+    Alcotest.test_case "LOCK XCHG is atomic" `Quick test_xchg_is_atomic;
+    QCheck_alcotest.to_alcotest prop_single_thread_tso_is_sc;
+  ]
