@@ -161,36 +161,115 @@ let fig10_tests () =
 
 (* -- the Bechamel driver ----------------------------------------------------- *)
 
-let run_tests tests =
+(* Run one named group; print the human lines and return the rows for the
+   machine-readable report. *)
+let run_group (gname, test) =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let results = Analyze.all ols Instance.monotonic_clock results in
-      let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
-      List.iter
-        (fun (name, ols_result) ->
-          match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Fmt.pr "  %-44s %12.1f ns/run@." name est
-          | _ -> Fmt.pr "  %-44s (no estimate)@." name)
-        (List.sort compare rows))
-    tests
+  let results = Benchmark.all cfg instances test in
+  let results = Analyze.all ols Instance.monotonic_clock results in
+  let rows = Hashtbl.fold (fun name v acc -> (name, v) :: acc) results [] in
+  let rows =
+    List.map
+      (fun (name, ols_result) ->
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] ->
+          Fmt.pr "  %-44s %12.1f ns/run@." name est;
+          (name, Some est)
+        | _ ->
+          Fmt.pr "  %-44s (no estimate)@." name;
+          (name, None))
+      (List.sort compare rows)
+  in
+  (gname, rows)
+
+(* Checker throughput on the fig10 instances, measured directly (states/sec
+   and steps/sec are the units every perf PR reports against; ns/run of a
+   whole closure is not comparable across instance sizes). *)
+let checker_throughput () =
+  let sc = Core.Scenario.make ~label:"bench" ~n_refs:2 ~shape:"single" ~max_mut_ops:1 () in
+  let o = Core.Scenario.explore sc in
+  let walk_sc =
+    Core.Scenario.make ~label:"bench-walk" ~n_refs:3 ~shape:"chain3" ~max_cycles:0 ~max_mut_ops:0 ()
+  in
+  let w = Core.Scenario.random_walk ~steps:50_000 walk_sc in
+  let explore_rate =
+    if o.Check.Explore.elapsed > 0. then
+      float_of_int o.Check.Explore.states /. o.Check.Explore.elapsed
+    else 0.
+  in
+  let walk_rate =
+    if w.Check.Random_walk.elapsed > 0. then
+      float_of_int w.Check.Random_walk.steps_taken /. w.Check.Random_walk.elapsed
+    else 0.
+  in
+  Fmt.pr "  %-44s %12.0f states/s@." "checker-explore-throughput" explore_rate;
+  Fmt.pr "  %-44s %12.0f steps/s@." "checker-walk-throughput" walk_rate;
+  Obs.Json.Obj
+    [
+      ("explore_states", Obs.Json.Int o.Check.Explore.states);
+      ("explore_elapsed_s", Obs.Json.Float o.Check.Explore.elapsed);
+      ("explore_states_per_sec", Obs.Json.Float explore_rate);
+      ("walk_steps", Obs.Json.Int w.Check.Random_walk.steps_taken);
+      ("walk_elapsed_s", Obs.Json.Float w.Check.Random_walk.elapsed);
+      ("walk_steps_per_sec", Obs.Json.Float walk_rate);
+    ]
+
+(* The machine-readable report: one record per Bechamel group plus the
+   checker throughput block.  Written next to the text output so perf PRs
+   can diff BENCH_*.json across revisions. *)
+let bench_report_file = "BENCH_1.json"
+
+let write_report groups checker =
+  let group_record (gname, rows) =
+    Obs.Json.Obj
+      [
+        ("group", Obs.Json.String gname);
+        ( "tests",
+          Obs.Json.List
+            (List.map
+               (fun (name, est) ->
+                 Obs.Json.Obj
+                   [
+                     ("name", Obs.Json.String name);
+                     ( "ns_per_run",
+                       match est with Some e -> Obs.Json.Float e | None -> Obs.Json.Null );
+                   ])
+               rows) );
+      ]
+  in
+  let report =
+    Obs.Json.Obj
+      [
+        ("schema", Obs.Json.String "relaxing-safely-bench-v1");
+        ("groups", Obs.Json.List (List.map group_record groups));
+        ("checker", checker);
+      ]
+  in
+  let oc = open_out bench_report_file in
+  output_string oc (Obs.Json.to_string report);
+  output_char oc '\n';
+  close_out oc;
+  Fmt.pr "wrote %s@." bench_report_file
 
 let () =
   shape_results ();
   Fmt.pr "=== timings (Bechamel, monotonic clock) ===@.";
   let cycle_test, cleanup = fig2_cycle () in
-  run_tests
-    [
-      Test.make_grouped ~name:"fig5" (fig5_tests ());
-      Test.make_grouped ~name:"fig6" (fig6_tests ());
-      Test.make_grouped ~name:"fig2" [ cycle_test ];
-      Test.make_grouped ~name:"fig7" (fig7_tests ());
-      Test.make_grouped ~name:"fig8" (fig8_tests ());
-      Test.make_grouped ~name:"fig9" (fig9_tests ());
-      Test.make_grouped ~name:"fig10" (fig10_tests ());
-    ];
+  let groups =
+    List.map run_group
+      [
+        ("fig5", Test.make_grouped ~name:"fig5" (fig5_tests ()));
+        ("fig6", Test.make_grouped ~name:"fig6" (fig6_tests ()));
+        ("fig2", Test.make_grouped ~name:"fig2" [ cycle_test ]);
+        ("fig7", Test.make_grouped ~name:"fig7" (fig7_tests ()));
+        ("fig8", Test.make_grouped ~name:"fig8" (fig8_tests ()));
+        ("fig9", Test.make_grouped ~name:"fig9" (fig9_tests ()));
+        ("fig10", Test.make_grouped ~name:"fig10" (fig10_tests ()));
+      ]
+  in
   cleanup ();
+  let checker = checker_throughput () in
+  write_report groups checker;
   Fmt.pr "done.@."

@@ -48,14 +48,23 @@ let pp_cmd =
   in
   Cmd.v (Cmd.info "pp" ~doc:"Parse and pretty-print.") Term.(const run $ source_term)
 
+let obs_term =
+  let doc = Fmt.str "Observability sink: %s." Obs.Reporter.spec_doc in
+  let env = Cmd.Env.info "RELAXING_OBS" ~doc:"Default observability sink." in
+  let spec = Arg.(value & opt (some string) None & info [ "obs" ] ~env ~docv:"SPEC" ~doc) in
+  let resolve spec =
+    try Ok (Obs.Reporter.resolve ?spec ()) with Invalid_argument msg -> Error msg
+  in
+  Term.(term_result' (const resolve $ spec))
+
 let run_cmd =
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State cap.")
   in
-  let run src max_states =
+  let run src max_states obs =
     let sys = Cimp_lang.Compile.of_source src in
     let o =
-      Check.Explore.run ~max_states
+      Check.Explore.run ~max_states ~obs
         ~invariants:[ ("assertions", Cimp_lang.Compile.assertions_hold) ]
         sys
     in
@@ -63,11 +72,13 @@ let run_cmd =
     match o.Check.Explore.violation with
     | Some tr ->
       Fmt.pr "%a@." Check.Trace.pp tr;
+      Obs.Reporter.emit obs "violation" [ ("trace", Check.Trace.to_json tr) ];
+      Obs.Reporter.close obs;
       exit 1
-    | None -> ()
+    | None -> Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "run" ~doc:"Explore the compiled system, checking asserts.")
-    Term.(const run $ source_term $ max_states)
+    Term.(const run $ source_term $ max_states $ obs_term)
 
 let examples_cmd =
   let run () =

@@ -5,14 +5,19 @@
    the necessity of each mechanism.  Each experiment below prints a block
    whose results are recorded in EXPERIMENTS.md.
 
-   Usage: experiments.exe [quick|full] [E<n> ...]
+   Usage: experiments.exe [quick|full] [--obs=SPEC] [E<n> ...]
    - quick (default): bounds sized for a couple of minutes total
-   - full: the larger grid used for the numbers in EXPERIMENTS.md *)
+   - full: the larger grid used for the numbers in EXPERIMENTS.md
+   - --obs=off|pretty|json:FILE (or RELAXING_OBS): observability sink for
+     checker heartbeats, per-invariant cost, and per-experiment records *)
 
 let quick = ref true
+let obs = ref Obs.Reporter.null
 
 let section n title =
-  Fmt.pr "@.=== %s — %s ===@." n title
+  Fmt.pr "@.=== %s — %s ===@." n title;
+  Obs.Reporter.emit !obs "experiment"
+    [ ("name", Obs.Json.String n); ("title", Obs.Json.String title) ]
 
 let result_line label (o : _ Check.Explore.outcome) =
   Fmt.pr "  %-44s %a@." label Check.Explore.pp_outcome o
@@ -25,7 +30,7 @@ let check_expectation ~expect_violation label (o : _ Check.Explore.outcome) =
 
 let explore ?safety_only sc =
   let max_states = if !quick then 3_000_000 else 40_000_000 in
-  Core.Scenario.explore ~max_states ?safety_only sc
+  Core.Scenario.explore ~max_states ?safety_only ~obs:!obs sc
 
 (* -- E1: Fig. 1, grey protection / the deletion barrier ------------------- *)
 
@@ -71,7 +76,7 @@ let e2 () =
       ~max_mut_ops:0 ~buf_bound:2 ~shape:"chain3" ~mut_mfence:true ()
   in
   let steps = if !quick then 30_000 else 300_000 in
-  let w = Core.Scenario.random_walk ~steps sc in
+  let w = Core.Scenario.random_walk ~steps ~obs:!obs sc in
   Fmt.pr "  %-44s %a@." "random deep run (4 refs, 2 fields, unbounded)" Check.Random_walk.pp_outcome w
 
 (* -- E3: Fig. 3, phase/handshake protocol ---------------------------------- *)
@@ -377,6 +382,18 @@ let all =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let spec, args =
+    List.partition_map
+      (fun a ->
+        match String.length a > 6 && String.sub a 0 6 = "--obs=" with
+        | true -> Left (String.sub a 6 (String.length a - 6))
+        | false -> Right a)
+      args
+  in
+  (try obs := Obs.Reporter.resolve ?spec:(match List.rev spec with s :: _ -> Some s | [] -> None) ()
+   with Invalid_argument msg ->
+     Fmt.epr "experiments: %s@." msg;
+     exit 124);
   let args =
     match args with
     | "full" :: rest ->
@@ -389,4 +406,5 @@ let () =
   Fmt.pr "Relaxing Safely — figure-by-figure experiments (%s mode)@."
     (if !quick then "quick" else "full");
   List.iter (fun (_, f) -> f ()) selected;
+  Obs.Reporter.close !obs;
   Fmt.pr "@.done.@."

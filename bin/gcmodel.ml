@@ -62,6 +62,15 @@ let cfg_term =
 let shape_term =
   Arg.(value & opt string "single" & info [ "shape" ] ~doc:"Initial heap shape (see $(b,shapes)).")
 
+let obs_term =
+  let doc = Fmt.str "Observability sink: %s." Obs.Reporter.spec_doc in
+  let env = Cmd.Env.info "RELAXING_OBS" ~doc:"Default observability sink." in
+  let spec = Arg.(value & opt (some string) None & info [ "obs" ] ~env ~docv:"SPEC" ~doc) in
+  let resolve spec =
+    try Ok (Obs.Reporter.resolve ?spec ()) with Invalid_argument msg -> Error msg
+  in
+  Term.(term_result' (const resolve $ spec))
+
 let safety_only =
   Arg.(value & flag & info [ "safety-only" ] ~doc:"Check only the safety invariants.")
 
@@ -79,44 +88,49 @@ let invariants_of cfg safety_only =
   in
   List.map (fun i -> (i.Core.Invariants.name, i.Core.Invariants.check)) invs
 
-let report cfg (violation : _ Check.Trace.t option) =
+let report cfg obs (violation : _ Check.Trace.t option) =
   match violation with
   | None -> ()
-  | Some tr -> Fmt.pr "%a@." (Core.Dump.pp_trace cfg) tr
+  | Some tr ->
+    Fmt.pr "%a@." (Core.Dump.pp_trace cfg) tr;
+    (* the counterexample as a replayable artifact *)
+    Obs.Reporter.emit obs "violation" [ ("trace", Check.Trace.to_json tr) ]
 
 let explore_cmd =
-  let run cv shape safety_only max_states =
+  let run cv shape safety_only max_states obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d@."
       v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
       cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops;
     let o =
-      Check.Explore.run ~max_states ~invariants:(invariants_of cfg safety_only)
+      Check.Explore.run ~max_states ~obs ~invariants:(invariants_of cfg safety_only)
         model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
-    report cfg o.Check.Explore.violation
+    report cfg obs o.Check.Explore.violation;
+    Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states)
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run cv shape safety_only steps seed =
+  let run cv shape safety_only steps seed obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d@." v.Core.Variants.name shape steps seed;
     let o =
-      Check.Random_walk.run ~seed ~steps ~invariants:(invariants_of cfg safety_only)
+      Check.Random_walk.run ~seed ~steps ~obs ~invariants:(invariants_of cfg safety_only)
         model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
-    report cfg o.Check.Random_walk.violation
+    report cfg obs o.Check.Random_walk.violation;
+    Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed)
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ obs_term)
 
 let variants_cmd =
   let run () =

@@ -27,6 +27,32 @@ let pp_outcome ppf o =
     (match o.violation with None -> "all invariants hold" | Some t -> "VIOLATION: " ^ t.Trace.broken)
     o.elapsed
 
+(* Coverage diffs must be stable across runs, so order deterministically:
+   by pid, then label. *)
+let sort_coverage pairs =
+  List.sort
+    (fun (p1, l1) (p2, l2) ->
+      match compare (p1 : int) p2 with 0 -> Cimp.Label.compare l1 l2 | c -> c)
+    pairs
+
+let coverage_gaps sys ~covered =
+  let fired = Hashtbl.create 256 in
+  List.iter (fun pair -> Hashtbl.replace fired pair ()) covered;
+  let gaps = ref [] in
+  for p = 0 to Cimp.System.n_procs sys - 1 do
+    let labels =
+      List.concat_map Cimp.Com.labels (Cimp.System.proc sys p).Cimp.Com.stack
+    in
+    List.iter
+      (fun l ->
+        if not (Hashtbl.mem fired (p, l)) then begin
+          Hashtbl.replace fired (p, l) ();  (* dedupe within the program *)
+          gaps := (p, l) :: !gaps
+        end)
+      labels
+  done;
+  sort_coverage !gaps
+
 (* BFS.  [invariants] are (name, predicate) pairs checked at every state,
    including the initial one.  Stops at the first violation (BFS order
    makes it a shortest one).
@@ -36,8 +62,8 @@ let pp_outcome ppf o =
    register/control steps — unobservable by other processes — execute
    eagerly, so invariants are evaluated at atomic-action boundaries only.
    This is the evaluation-context atomicity coarsening of Section 3. *)
-let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false) ~invariants
-    initial =
+let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
+    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants initial =
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
   let initial = norm initial in
   let coverage = Hashtbl.create (if track_coverage then 512 else 1) in
@@ -61,10 +87,37 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   let depth = ref 0 in
   let truncated = ref false in
   let violation = ref None in
-  let check_state sys =
-    match List.find_opt (fun (_, p) -> not (p sys)) invariants with
-    | None -> None
-    | Some (name, _) -> Some name
+  let iv = Inv_stats.make ~obs invariants in
+  let check_state = iv.Inv_stats.check in
+  (* progress heartbeats, gated twice: the [enabled] test keeps the null
+     sink's cost to one branch per expanded node, the state-count delta
+     keeps an enabled sink's cost to one record per [heartbeat_every]
+     states *)
+  let hb_states = ref 0 in
+  let hb_time = ref t0 in
+  let heartbeat () =
+    if Obs.Reporter.enabled obs && !states - !hb_states >= heartbeat_every then begin
+      let now = Unix.gettimeofday () in
+      let interval = now -. !hb_time in
+      let rate =
+        if interval > 0. then float_of_int (!states - !hb_states) /. interval else 0.
+      in
+      let gc = Gc.quick_stat () in
+      Obs.Reporter.emit obs "heartbeat"
+        [
+          ("checker", Obs.Json.String "explore");
+          ("states", Obs.Json.Int !states);
+          ("transitions", Obs.Json.Int !transitions);
+          ("depth", Obs.Json.Int !depth);
+          ("frontier", Obs.Json.Int (Queue.length q));
+          ("states_per_sec", Obs.Json.Float rate);
+          ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+          ("minor_collections", Obs.Json.Int gc.Gc.minor_collections);
+          ("major_collections", Obs.Json.Int gc.Gc.major_collections);
+        ];
+      hb_states := !states;
+      hb_time := now
+    end
   in
   let reconstruct fp broken =
     (* walk parent pointers back to the root, then replay forward *)
@@ -107,9 +160,30 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
           enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1) (norm sys')
         else truncated := true)
       succs;
+    heartbeat ();
     if !states >= max_states then truncated := true;
     if !truncated && Queue.is_empty q then continue := false
   done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
+  iv.Inv_stats.report obs ~first_violation;
+  if Obs.Reporter.enabled obs then
+    Obs.Reporter.emit obs "outcome"
+      [
+        ("checker", Obs.Json.String "explore");
+        ("states", Obs.Json.Int !states);
+        ("transitions", Obs.Json.Int !transitions);
+        ("depth", Obs.Json.Int !depth);
+        ("deadlocks", Obs.Json.Int !deadlocks);
+        ("truncated", Obs.Json.Bool !truncated);
+        ( "violation",
+          match first_violation with
+          | None -> Obs.Json.Null
+          | Some name -> Obs.Json.String name );
+        ("elapsed_s", Obs.Json.Float elapsed);
+        ( "states_per_sec",
+          Obs.Json.Float (if elapsed > 0. then float_of_int !states /. elapsed else 0.) );
+      ];
   {
     states = !states;
     transitions = !transitions;
@@ -117,6 +191,6 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     deadlocks = !deadlocks;
     truncated = !truncated;
     violation = !violation;
-    elapsed = Unix.gettimeofday () -. t0;
-    covered = Hashtbl.fold (fun k () acc -> k :: acc) coverage [];
+    elapsed;
+    covered = sort_coverage (Hashtbl.fold (fun k () acc -> k :: acc) coverage []);
   }

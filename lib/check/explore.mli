@@ -14,11 +14,20 @@ type ('a, 'v, 's) outcome = {
   violation : ('a, 'v, 's) Trace.t option;  (** first (shortest) violation *)
   elapsed : float;  (** wall-clock seconds *)
   covered : (int * Cimp.Label.t) list;
-      (** (pid, label) pairs that fired (empty unless [track_coverage]);
-          program locations never exercised indicate dead model code *)
+      (** (pid, label) pairs that fired (empty unless [track_coverage]),
+          sorted by pid then label so coverage diffs are stable across
+          runs; program locations never exercised indicate dead model
+          code *)
 }
 
 val pp_outcome : ('a, 'v, 's) outcome Fmt.t
+
+(** [coverage_gaps sys ~covered] lists the (pid, label) pairs of [sys]'s
+    programs that never fired, sorted by pid then label.  Pass the
+    checker's {e initial} system (its stacks still hold the full
+    programs) and an outcome's [covered] list. *)
+val coverage_gaps :
+  ('a, 'v, 's) Cimp.System.t -> covered:(int * Cimp.Label.t) list -> (int * Cimp.Label.t) list
 
 (** [run ~invariants initial] explores from [initial].  Invariants are
     (name, predicate) pairs checked at every state, including the initial
@@ -31,11 +40,20 @@ val pp_outcome : ('a, 'v, 's) outcome Fmt.t
            (default [true]): runs of deterministic local steps execute
            eagerly, so invariants are evaluated at atomic-action
            boundaries only.
-    @param track_coverage record which (pid, label) pairs fire. *)
+    @param track_coverage record which (pid, label) pairs fire.
+    @param obs observability reporter (default {!Obs.Reporter.null}, which
+           costs one branch per expanded node).  When enabled, the run
+           emits [heartbeat] records (states/sec, frontier size, depth,
+           GC words) every [heartbeat_every] states, one [invariant]
+           record per invariant (eval count, cumulative seconds,
+           first-violation attribution) and a final [outcome] record.
+    @param heartbeat_every states between heartbeats (default 20,000). *)
 val run :
   ?max_states:int ->
   ?normal_form:bool ->
   ?track_coverage:bool ->
+  ?obs:Obs.Reporter.t ->
+  ?heartbeat_every:int ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

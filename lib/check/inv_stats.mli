@@ -1,0 +1,23 @@
+(** Per-invariant evaluation accounting, shared by the exhaustive explorer
+    and the random walker.
+
+    The checkers spend most of their time inside invariant predicates, so
+    this is the telemetry that attributes checker cost: how many times each
+    invariant was evaluated, how long it took cumulatively, and which one
+    produced the first violation.  The [plain] variant is the checkers'
+    original fast path (first failing invariant, no bookkeeping) and is
+    selected whenever the reporter is disabled, so observability costs
+    nothing when off. *)
+
+type 'sys t = {
+  check : 'sys -> string option;
+      (** name of the first failing invariant, in catalogue order *)
+  report : Obs.Reporter.t -> first_violation:string option -> unit;
+      (** emit one [invariant] record per invariant (no-op for [plain]) *)
+}
+
+val make : obs:Obs.Reporter.t -> (string * ('sys -> bool)) list -> 'sys t
+(** Instrumented when [obs] is enabled, [plain] otherwise. *)
+
+val plain : (string * ('sys -> bool)) list -> 'sys t
+val instrumented : (string * ('sys -> bool)) list -> 'sys t

@@ -6,30 +6,54 @@
 
 type ('a, 'v, 's) outcome = {
   steps_taken : int;
-  runs : int;  (* walks performed (restarts on dead ends) *)
+  runs : int;  (* walks performed (includes every restart) *)
+  restarts : int;  (* restarts forced by dead ends, specifically *)
   violation : ('a, 'v, 's) Trace.t option;
   elapsed : float;
 }
 
 let pp_outcome ppf o =
-  Fmt.pf ppf "steps=%d runs=%d %s (%.2fs)" o.steps_taken o.runs
+  Fmt.pf ppf "steps=%d runs=%d dead-ends=%d %s (%.2fs)" o.steps_taken o.runs o.restarts
     (match o.violation with None -> "all invariants hold" | Some t -> "VIOLATION: " ^ t.Trace.broken)
     o.elapsed
 
 let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form = true)
-    ~invariants initial =
+    ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants
+    initial =
+  let trace_tail = max 1 trace_tail in
   let t0 = Unix.gettimeofday () in
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
   let initial = norm initial in
   let rng = Random.State.make [| seed |] in
-  let check_state sys =
-    match List.find_opt (fun (_, p) -> not (p sys)) invariants with
-    | None -> None
-    | Some (name, _) -> Some name
-  in
+  let iv = Inv_stats.make ~obs invariants in
+  let check_state = iv.Inv_stats.check in
   let violation = ref None in
   let taken = ref 0 in
   let runs = ref 0 in
+  let restarts = ref 0 in
+  let hb_taken = ref 0 in
+  let hb_time = ref t0 in
+  let heartbeat () =
+    if Obs.Reporter.enabled obs && !taken - !hb_taken >= heartbeat_every then begin
+      let now = Unix.gettimeofday () in
+      let interval = now -. !hb_time in
+      let rate =
+        if interval > 0. then float_of_int (!taken - !hb_taken) /. interval else 0.
+      in
+      let gc = Gc.quick_stat () in
+      Obs.Reporter.emit obs "heartbeat"
+        [
+          ("checker", Obs.Json.String "walk");
+          ("steps", Obs.Json.Int !taken);
+          ("runs", Obs.Json.Int !runs);
+          ("dead_end_restarts", Obs.Json.Int !restarts);
+          ("steps_per_sec", Obs.Json.Float rate);
+          ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+        ];
+      hb_taken := !taken;
+      hb_time := now
+    end
+  in
   (match check_state initial with
   | Some name -> violation := Some { Trace.initial; steps = []; broken = name }
   | None -> ());
@@ -37,11 +61,18 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
     incr runs;
     let sys = ref initial in
     let len = ref 0 in
+    (* counterexample memory is bounded: keep only the newest [trace_tail]
+       (amortized: truncate on reaching twice that) of the walk, newest
+       first — deep walks would otherwise retain every intermediate state *)
     let rev_steps = ref [] in
+    let tail_len = ref 0 in
     let continue = ref true in
     while !continue && !violation = None && !taken < steps && !len < max_run_length do
       match Cimp.System.steps !sys with
-      | [] -> continue := false (* dead end; restart *)
+      | [] ->
+        (* dead end; restart *)
+        incr restarts;
+        continue := false
       | succs ->
         let event, sys' = List.nth succs (Random.State.int rng (List.length succs)) in
         let sys' = norm sys' in
@@ -49,10 +80,35 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
         incr taken;
         incr len;
         rev_steps := { Trace.event; state = sys' } :: !rev_steps;
+        incr tail_len;
+        if !tail_len >= 2 * trace_tail then begin
+          rev_steps := List.filteri (fun i _ -> i < trace_tail) !rev_steps;
+          tail_len := trace_tail
+        end;
+        heartbeat ();
         (match check_state sys' with
         | Some name ->
-          violation := Some { Trace.initial; steps = List.rev !rev_steps; broken = name }
+          let tail = List.filteri (fun i _ -> i < trace_tail) !rev_steps in
+          violation := Some { Trace.initial; steps = List.rev tail; broken = name }
         | None -> ())
     done
   done;
-  { steps_taken = !taken; runs = !runs; violation = !violation; elapsed = Unix.gettimeofday () -. t0 }
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
+  iv.Inv_stats.report obs ~first_violation;
+  if Obs.Reporter.enabled obs then
+    Obs.Reporter.emit obs "outcome"
+      [
+        ("checker", Obs.Json.String "walk");
+        ("steps", Obs.Json.Int !taken);
+        ("runs", Obs.Json.Int !runs);
+        ("dead_end_restarts", Obs.Json.Int !restarts);
+        ( "violation",
+          match first_violation with
+          | None -> Obs.Json.Null
+          | Some name -> Obs.Json.String name );
+        ("elapsed_s", Obs.Json.Float elapsed);
+        ( "steps_per_sec",
+          Obs.Json.Float (if elapsed > 0. then float_of_int !taken /. elapsed else 0.) );
+      ];
+  { steps_taken = !taken; runs = !runs; restarts = !restarts; violation = !violation; elapsed }

@@ -5,7 +5,8 @@
 
 type ('a, 'v, 's) outcome = {
   steps_taken : int;
-  runs : int;  (** walks performed (restarts on dead ends) *)
+  runs : int;  (** walks performed (includes every restart) *)
+  restarts : int;  (** restarts forced by dead ends, specifically *)
   violation : ('a, 'v, 's) Trace.t option;
   elapsed : float;
 }
@@ -16,12 +17,25 @@ val pp_outcome : ('a, 'v, 's) outcome Fmt.t
     taken or an invariant fails.  Deterministic in [seed].
 
     @param max_run_length restart after this many steps in one walk
-    @param normal_form as in {!Explore.run} *)
+    @param normal_form as in {!Explore.run}
+    @param trace_tail retain at most this many trailing steps of the
+           current walk for the counterexample (default 1000; memory for
+           deep walks is bounded by it).  A violation deeper than
+           [trace_tail] yields a trace holding only the final
+           [trace_tail] steps — its [steps] then do not replay from
+           [initial].
+    @param obs as in {!Explore.run}: [heartbeat] records every
+           [heartbeat_every] steps (steps/sec, runs, dead-end restarts,
+           GC words), per-[invariant] records, and a final [outcome]
+           record. *)
 val run :
   ?seed:int ->
   ?steps:int ->
   ?max_run_length:int ->
   ?normal_form:bool ->
+  ?trace_tail:int ->
+  ?obs:Obs.Reporter.t ->
+  ?heartbeat_every:int ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

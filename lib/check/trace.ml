@@ -17,6 +17,68 @@ let length tr = List.length tr.steps
 let final tr =
   match List.rev tr.steps with [] -> tr.initial | last :: _ -> last.state
 
+(* -- JSON export ------------------------------------------------------------ *)
+
+(* Counterexamples as artifacts: the schedule (plus process names and the
+   violated invariant) fully determines the run, so exporting it makes a
+   violation replayable without serializing the polymorphic data states. *)
+
+let event_to_json = function
+  | Cimp.System.Tau (p, l) ->
+    Obs.Json.Obj
+      [ ("kind", Obs.Json.String "tau"); ("pid", Obs.Json.Int p); ("label", Obs.Json.String l) ]
+  | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
+    Obs.Json.Obj
+      [
+        ("kind", Obs.Json.String "rendezvous");
+        ("requester", Obs.Json.Int requester);
+        ("req_label", Obs.Json.String req_label);
+        ("responder", Obs.Json.Int responder);
+        ("resp_label", Obs.Json.String resp_label);
+      ]
+
+let event_of_json j =
+  let str k = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt in
+  let int k = Option.bind (Obs.Json.member k j) Obs.Json.to_int in
+  match str "kind" with
+  | Some "tau" -> (
+    match (int "pid", str "label") with
+    | Some p, Some l -> Ok (Cimp.System.Tau (p, l))
+    | _ -> Error "tau event missing pid/label")
+  | Some "rendezvous" -> (
+    match (int "requester", str "req_label", int "responder", str "resp_label") with
+    | Some requester, Some req_label, Some responder, Some resp_label ->
+      Ok (Cimp.System.Rendezvous { requester; req_label; responder; resp_label })
+    | _ -> Error "rendezvous event missing a field")
+  | Some k -> Error ("unknown event kind " ^ k)
+  | None -> Error "event without a kind"
+
+let to_json tr =
+  let names =
+    List.init (Cimp.System.n_procs tr.initial) (fun p ->
+        Obs.Json.String (Cimp.System.name tr.initial p))
+  in
+  Obs.Json.Obj
+    [
+      ("broken", Obs.Json.String tr.broken);
+      ("length", Obs.Json.Int (length tr));
+      ("names", Obs.Json.List names);
+      ("schedule", Obs.Json.List (List.map (fun s -> event_to_json s.event) tr.steps));
+    ]
+
+let schedule_of_json j =
+  match (Option.bind (Obs.Json.member "broken" j) Obs.Json.to_string_opt,
+         Option.bind (Obs.Json.member "schedule" j) Obs.Json.to_list) with
+  | Some broken, Some events ->
+    let rec parse acc = function
+      | [] -> Ok (broken, List.rev acc)
+      | e :: rest -> (
+        match event_of_json e with Ok ev -> parse (ev :: acc) rest | Error msg -> Error msg)
+    in
+    parse [] events
+  | None, _ -> Error "trace JSON missing \"broken\""
+  | _, None -> Error "trace JSON missing \"schedule\""
+
 (* Render just the event schedule; state dumps are the callers' business
    (they know the data-state type). *)
 let pp ppf tr =

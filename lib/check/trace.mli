@@ -17,3 +17,22 @@ val final : ('a, 'v, 's) t -> ('a, 'v, 's) Cimp.System.t
 (** Render the event schedule (state dumps are the callers' business:
     they know the data-state type — see {!Core.Dump.pp_trace}). *)
 val pp : ('a, 'v, 's) t Fmt.t
+
+(** {1 JSON export}
+
+    The schedule (plus process names and the violated invariant) fully
+    determines a counterexample run, so exporting it makes violations
+    replayable artifacts without serializing the polymorphic states:
+    re-run the schedule from the same initial system to regenerate every
+    intermediate state. *)
+
+val event_to_json : Cimp.System.event -> Obs.Json.t
+val event_of_json : Obs.Json.t -> (Cimp.System.event, string) result
+
+(** [{"broken"; "length"; "names"; "schedule"}] — see README
+    "Observability" for the schema. *)
+val to_json : ('a, 'v, 's) t -> Obs.Json.t
+
+(** Parse back what {!to_json} wrote: the violated invariant's name and
+    the event schedule. *)
+val schedule_of_json : Obs.Json.t -> (string * Cimp.System.event list, string) result

@@ -45,11 +45,13 @@ let invariants ?(safety_only = false) sc =
   in
   List.map (fun i -> (i.Invariants.name, i.Invariants.check)) invs
 
-let explore ?(max_states = 30_000_000) ?safety_only sc =
-  Check.Explore.run ~max_states ~invariants:(invariants ?safety_only sc) (model sc).Model.system
+let explore ?(max_states = 30_000_000) ?safety_only ?obs sc =
+  Check.Explore.run ~max_states ?obs ~invariants:(invariants ?safety_only sc)
+    (model sc).Model.system
 
-let random_walk ?(seed = 42) ?(steps = 50_000) ?safety_only sc =
-  Check.Random_walk.run ~seed ~steps ~invariants:(invariants ?safety_only sc) (model sc).Model.system
+let random_walk ?(seed = 42) ?(steps = 50_000) ?safety_only ?obs sc =
+  Check.Random_walk.run ~seed ~steps ?obs ~invariants:(invariants ?safety_only sc)
+    (model sc).Model.system
 
 (* -- Presets --------------------------------------------------------------- *)
 

@@ -31,9 +31,20 @@ val invariants : ?safety_only:bool -> t -> (string * (Model.sys -> bool)) list
 (** The invariant catalogue instantiated for the scenario's configuration,
     as (name, predicate) pairs for the checker. *)
 
-val explore : ?max_states:int -> ?safety_only:bool -> t -> (Types.msg, Types.value, State.t) Check.Explore.outcome
+val explore :
+  ?max_states:int ->
+  ?safety_only:bool ->
+  ?obs:Obs.Reporter.t ->
+  t ->
+  (Types.msg, Types.value, State.t) Check.Explore.outcome
+
 val random_walk :
-  ?seed:int -> ?steps:int -> ?safety_only:bool -> t -> (Types.msg, Types.value, State.t) Check.Random_walk.outcome
+  ?seed:int ->
+  ?steps:int ->
+  ?safety_only:bool ->
+  ?obs:Obs.Reporter.t ->
+  t ->
+  (Types.msg, Types.value, State.t) Check.Random_walk.outcome
 
 (** {1 Presets} *)
 

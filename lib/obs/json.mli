@@ -1,0 +1,37 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The observability layer emits JSONL event streams and the bench
+    harness writes machine-readable reports; the test suite parses them
+    back.  The container ships no JSON library, so this is a small,
+    dependency-free implementation: ints are kept distinct from floats
+    (metrics are mostly counters), strings are escaped per RFC 8259, and
+    the parser accepts exactly what the printer emits plus standard
+    whitespace and [\uXXXX] escapes. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val pp : t Fmt.t
+
+(** [of_string s] parses one JSON value (surrounding whitespace allowed);
+    trailing non-whitespace input is an error. *)
+val of_string : string -> (t, string) result
+
+(** {1 Accessors} — total; [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+(** [to_float] accepts both [Int] and [Float]. *)
+val to_float : t -> float option
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

@@ -1,0 +1,149 @@
+(* Counters, gauges, histograms, and the registry that snapshots them.
+   See metrics.mli for the plain/atomic split rationale. *)
+
+type metric =
+  | M_counter of counter
+  | M_acounter of acounter
+  | M_gauge of gauge
+  | M_histogram of histogram
+
+and counter = { c_name : string; mutable c_n : int }
+and acounter = { a_name : string; a_n : int Atomic.t }
+and gauge = { g_name : string; mutable g_v : float }
+
+and histogram = {
+  h_name : string;
+  h_cap : int;
+  h_samples : float array;  (* reservoir; first [h_filled] slots valid *)
+  mutable h_filled : int;
+  mutable h_seen : int;  (* total observations *)
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  mutable h_lcg : int;  (* deterministic replacement stream *)
+}
+
+(* Registration may race (the runtime creates metrics from several
+   domains), so the registry itself is locked; the metrics are not. *)
+type registry = { lock : Mutex.t; mutable metrics : metric list }
+
+let create_registry () = { lock = Mutex.create (); metrics = [] }
+let default = create_registry ()
+
+let register registry m =
+  Mutex.lock registry.lock;
+  registry.metrics <- m :: registry.metrics;
+  Mutex.unlock registry.lock
+
+(* -- counters ---------------------------------------------------------------- *)
+
+let counter ?(registry = default) name =
+  let c = { c_name = name; c_n = 0 } in
+  register registry (M_counter c);
+  c
+
+let incr c = c.c_n <- c.c_n + 1
+let add c n = c.c_n <- c.c_n + n
+let count c = c.c_n
+
+let acounter ?(registry = default) name =
+  let a = { a_name = name; a_n = Atomic.make 0 } in
+  register registry (M_acounter a);
+  a
+
+let aincr a = Atomic.incr a.a_n
+let aadd a n = ignore (Atomic.fetch_and_add a.a_n n)
+let acount a = Atomic.get a.a_n
+
+(* -- gauges ------------------------------------------------------------------ *)
+
+let gauge ?(registry = default) name =
+  let g = { g_name = name; g_v = 0. } in
+  register registry (M_gauge g);
+  g
+
+let set g v = g.g_v <- v
+let value g = g.g_v
+
+(* -- histograms -------------------------------------------------------------- *)
+
+let histogram ?(registry = default) ?(capacity = 4096) name =
+  if capacity <= 0 then invalid_arg "Metrics.histogram: capacity must be positive";
+  let h =
+    {
+      h_name = name;
+      h_cap = capacity;
+      h_samples = Array.make capacity 0.;
+      h_filled = 0;
+      h_seen = 0;
+      h_sum = 0.;
+      h_min = infinity;
+      h_max = neg_infinity;
+      h_lcg = 0x2545F491;
+    }
+  in
+  register registry (M_histogram h);
+  h
+
+let lcg_next h =
+  (* the 48-bit java.util.Random step; only used once the reservoir is full *)
+  h.h_lcg <- (h.h_lcg * 0x5DEECE66D + 0xB) land ((1 lsl 48) - 1);
+  h.h_lcg
+
+let observe h v =
+  h.h_seen <- h.h_seen + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  if h.h_filled < h.h_cap then begin
+    h.h_samples.(h.h_filled) <- v;
+    h.h_filled <- h.h_filled + 1
+  end
+  else begin
+    (* algorithm R: replace slot [r] for r uniform in [0, seen) iff r < cap *)
+    let r = lcg_next h mod h.h_seen in
+    if r < h.h_cap then h.h_samples.(r) <- v
+  end
+
+let observations h = h.h_seen
+
+let percentile h p =
+  if h.h_filled = 0 then nan
+  else begin
+    let sorted = Array.sub h.h_samples 0 h.h_filled in
+    Array.sort compare sorted;
+    let n = h.h_filled in
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+  end
+
+let mean h = if h.h_seen = 0 then nan else h.h_sum /. float_of_int h.h_seen
+let hmin h = if h.h_seen = 0 then nan else h.h_min
+let hmax h = if h.h_seen = 0 then nan else h.h_max
+
+let hsnapshot h =
+  Json.Obj
+    [
+      ("count", Json.Int h.h_seen);
+      ("mean", Json.Float (mean h));
+      ("p50", Json.Float (percentile h 50.));
+      ("p90", Json.Float (percentile h 90.));
+      ("p99", Json.Float (percentile h 99.));
+      ("min", Json.Float (hmin h));
+      ("max", Json.Float (hmax h));
+    ]
+
+(* -- dump -------------------------------------------------------------------- *)
+
+let dump ?(registry = default) () =
+  Mutex.lock registry.lock;
+  let metrics = registry.metrics in
+  Mutex.unlock registry.lock;
+  Json.Obj
+    (List.rev_map
+       (function
+         | M_counter c -> (c.c_name, Json.Int c.c_n)
+         | M_acounter a -> (a.a_name, Json.Int (Atomic.get a.a_n))
+         | M_gauge g -> (g.g_name, Json.Float g.g_v)
+         | M_histogram h -> (h.h_name, hsnapshot h))
+       metrics)

@@ -1,0 +1,78 @@
+(** Structured metrics: counters, gauges and histograms in a process-wide
+    registry.
+
+    Two counter flavours: plain (single-domain checker code, a bare
+    [mutable int] so instrumentation is one add) and atomic (the multicore
+    runtime, so instrumentation does not perturb the TSO behaviours under
+    test by introducing accidental synchronisation points — an
+    [Atomic.t] is exactly the fetch-and-add the paper's ghost counters
+    use).  Histograms are single-writer reservoir samples with exact
+    percentiles while under capacity.
+
+    Creation registers the metric in a registry (the shared [default] one
+    unless told otherwise); [dump] snapshots every registered metric as a
+    JSON object, which is what the sinks attach to heartbeat records. *)
+
+type registry
+
+val create_registry : unit -> registry
+
+(** The process-wide registry used by every constructor by default. *)
+val default : registry
+
+(** Snapshot every metric registered in the registry (default: the
+    process-wide one) as [name -> value].  Histograms dump an object with
+    [count], [mean], [p50], [p90], [p99], [min], [max]. *)
+val dump : ?registry:registry -> unit -> Json.t
+
+(** {1 Plain counters} — single writer, no synchronisation. *)
+
+type counter
+
+val counter : ?registry:registry -> string -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+(** {1 Atomic counters} — safe under concurrent domains. *)
+
+type acounter
+
+val acounter : ?registry:registry -> string -> acounter
+val aincr : acounter -> unit
+val aadd : acounter -> int -> unit
+val acount : acounter -> int
+
+(** {1 Gauges} — last-write-wins floats, single writer. *)
+
+type gauge
+
+val gauge : ?registry:registry -> string -> gauge
+val set : gauge -> float -> unit
+val value : gauge -> float
+
+(** {1 Histograms} — single-writer reservoir samples. *)
+
+type histogram
+
+(** [histogram name] with a reservoir of [capacity] samples (default
+    4096).  Under capacity every observation is retained and percentiles
+    are exact; over capacity, reservoir sampling (algorithm R with a
+    deterministic LCG, so runs are reproducible) keeps a uniform sample. *)
+val histogram : ?registry:registry -> ?capacity:int -> string -> histogram
+
+val observe : histogram -> float -> unit
+
+(** Total observations (not the retained sample size). *)
+val observations : histogram -> int
+
+(** [percentile h p] for [p] in [0..100] over the retained sample; [nan]
+    when empty. *)
+val percentile : histogram -> float -> float
+
+val mean : histogram -> float
+val hmin : histogram -> float
+val hmax : histogram -> float
+
+(** The JSON summary [dump] uses, exposed for per-metric reporting. *)
+val hsnapshot : histogram -> Json.t

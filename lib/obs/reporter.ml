@@ -1,0 +1,103 @@
+(* Sinks and the emit path.  See reporter.mli. *)
+
+type sink =
+  | Null
+  | Pretty of Format.formatter
+  | Jsonl of out_channel
+  | Memory of Json.t list ref
+
+type t = {
+  sink : sink;
+  lock : Mutex.t;
+  t0 : float;  (* creation time; basis for elapsed_s *)
+  mutable closed : bool;
+}
+
+let make sink = { sink; lock = Mutex.create (); t0 = Unix.gettimeofday (); closed = false }
+
+let null = make Null
+let pretty ?(ppf = Fmt.stderr) () = make (Pretty ppf)
+let jsonl path = make (Jsonl (open_out path))
+
+let memory () =
+  let records = ref [] in
+  (make (Memory records), fun () -> List.rev !records)
+
+let enabled t =
+  (not t.closed) && (match t.sink with Null -> false | Pretty _ | Jsonl _ | Memory _ -> true)
+
+let pp_pretty_field ppf (k, v) = Fmt.pf ppf "%s=%a" k Json.pp v
+
+let emit t event fields =
+  if enabled t then begin
+    let now = Unix.gettimeofday () in
+    let record =
+      Json.Obj
+        (("event", Json.String event)
+        :: ("ts", Json.Float now)
+        :: ("rel_s", Json.Float (now -. t.t0))
+        :: fields)
+    in
+    Mutex.lock t.lock;
+    (match t.sink with
+    | Null -> ()
+    | Pretty ppf ->
+      Fmt.pf ppf "[obs +%7.3fs] %-12s %a@." (now -. t.t0) event
+        Fmt.(list ~sep:sp pp_pretty_field)
+        fields
+    | Jsonl oc ->
+      output_string oc (Json.to_string record);
+      output_char oc '\n';
+      flush oc
+    | Memory records -> records := record :: !records);
+    Mutex.unlock t.lock
+  end
+
+let span t name f =
+  if not (enabled t) then f ()
+  else begin
+    let start = Unix.gettimeofday () in
+    let finish ok =
+      emit t "span"
+        [ ("name", Json.String name);
+          ("s", Json.Float (Unix.gettimeofday () -. start));
+          ("ok", Json.Bool ok) ]
+    in
+    match f () with
+    | v ->
+      finish true;
+      v
+    | exception e ->
+      finish false;
+      raise e
+  end
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.sink with
+    | Jsonl oc -> close_out oc
+    | Null | Pretty _ | Memory _ -> ()
+  end
+
+(* -- configuration ----------------------------------------------------------- *)
+
+let spec_doc = "off | pretty | json:FILE"
+
+let of_spec spec =
+  match spec with
+  | "off" | "null" | "" -> Ok null
+  | "pretty" -> Ok (pretty ())
+  | s when String.length s > 5 && String.sub s 0 5 = "json:" ->
+    let path = String.sub s 5 (String.length s - 5) in
+    (try Ok (jsonl path) with Sys_error msg -> Error msg)
+  | s -> Error (Fmt.str "bad observability spec %S (expected %s)" s spec_doc)
+
+let resolve ?spec () =
+  let spec =
+    match spec with Some _ as s -> s | None -> Sys.getenv_opt "RELAXING_OBS"
+  in
+  match spec with
+  | None -> null
+  | Some s -> (
+    match of_spec s with Ok t -> t | Error msg -> invalid_arg ("--obs: " ^ msg))

@@ -13,14 +13,15 @@ type stats = {
   cas_attempts : int;
   cas_wins : int;
   barrier_fast_path : int;
+  hs_rounds : int;
   live_at_end : int;
   violation : string option;
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "cycles=%d ops=%d allocs=%d frees=%d cas=%d/%d fastpath=%d live=%d %s" s.cycles s.ops
-    s.allocs s.frees s.cas_wins s.cas_attempts s.barrier_fast_path s.live_at_end
+    "cycles=%d ops=%d allocs=%d frees=%d cas=%d/%d fastpath=%d hs=%d live=%d %s" s.cycles s.ops
+    s.allocs s.frees s.cas_wins s.cas_attempts s.barrier_fast_path s.hs_rounds s.live_at_end
     (match s.violation with None -> "SAFE" | Some m -> "UNSAFE: " ^ m)
 
 (* Reachability over the concrete heap (single-threaded, run only when the
@@ -53,8 +54,9 @@ let final_validation heap mutators =
          rs)
 
 let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barriers = true)
-    ?(seed = 42) ?(workload = Rmutator.Uniform) ?(trace_pause = 0.) () =
-  let sh = Rshared.make ~trace_pause ~n_slots ~n_fields ~n_muts () in
+    ?(seed = 42) ?(workload = Rmutator.Uniform) ?(trace_pause = 0.)
+    ?(obs = Obs.Reporter.null) () =
+  let sh = Rshared.make ~trace_pause ~obs ~n_slots ~n_fields ~n_muts () in
   (* seed each mutator with one root object *)
   let mutators =
     List.init n_muts (fun i ->
@@ -88,14 +90,37 @@ let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barri
     | Some m -> Some m
     | None -> final_validation sh.Rshared.heap mutators
   in
-  {
-    cycles = Atomic.get sh.Rshared.cycles;
-    ops = List.fold_left (fun n (m : Rmutator.t) -> n + m.Rmutator.ops) 0 mutators;
-    allocs = Atomic.get sh.Rshared.heap.Rheap.allocs;
-    frees = Atomic.get sh.Rshared.heap.Rheap.frees;
-    cas_attempts = Atomic.get sh.Rshared.cas_attempts;
-    cas_wins = Atomic.get sh.Rshared.cas_wins;
-    barrier_fast_path = Atomic.get sh.Rshared.barrier_fast_path;
-    live_at_end = Rheap.live_count sh.Rshared.heap;
-    violation;
-  }
+  let stats =
+    {
+      cycles = Atomic.get sh.Rshared.cycles;
+      ops = List.fold_left (fun n (m : Rmutator.t) -> n + m.Rmutator.ops) 0 mutators;
+      allocs = Atomic.get sh.Rshared.heap.Rheap.allocs;
+      frees = Atomic.get sh.Rshared.heap.Rheap.frees;
+      cas_attempts = Atomic.get sh.Rshared.cas_attempts;
+      cas_wins = Atomic.get sh.Rshared.cas_wins;
+      barrier_fast_path = Atomic.get sh.Rshared.barrier_fast_path;
+      hs_rounds = Obs.Metrics.acount sh.Rshared.hs_rounds;
+      live_at_end = Rheap.live_count sh.Rshared.heap;
+      violation;
+    }
+  in
+  if Obs.Reporter.enabled obs then
+    Obs.Reporter.emit obs "harness"
+      [
+        ("n_muts", Obs.Json.Int n_muts);
+        ("duration_s", Obs.Json.Float duration);
+        ("barriers", Obs.Json.Bool barriers);
+        ("cycles", Obs.Json.Int stats.cycles);
+        ("ops", Obs.Json.Int stats.ops);
+        ("allocs", Obs.Json.Int stats.allocs);
+        ("frees", Obs.Json.Int stats.frees);
+        ("cas_attempts", Obs.Json.Int stats.cas_attempts);
+        ("cas_wins", Obs.Json.Int stats.cas_wins);
+        ("barrier_fast_path", Obs.Json.Int stats.barrier_fast_path);
+        ("hs_rounds", Obs.Json.Int stats.hs_rounds);
+        ("hs_latency", Obs.Metrics.hsnapshot sh.Rshared.hs_latency);
+        ("live_at_end", Obs.Json.Int stats.live_at_end);
+        ( "violation",
+          match stats.violation with None -> Obs.Json.Null | Some m -> Obs.Json.String m );
+      ];
+  stats

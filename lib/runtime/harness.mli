@@ -11,6 +11,7 @@ type stats = {
   cas_attempts : int;
   cas_wins : int;
   barrier_fast_path : int;
+  hs_rounds : int;  (** handshake rounds completed by the collector *)
   live_at_end : int;
   violation : string option;  (** [None] = SAFE *)
 }
@@ -30,8 +31,12 @@ val run :
   ?seed:int ->
   ?workload:Rmutator.workload ->
   ?trace_pause:float ->
+  ?obs:Obs.Reporter.t ->
   unit ->
   stats
 (** Run the harness.  [barriers:false] ablates the write barriers (the
     Lists workload then faults within cycles); [trace_pause] widens the
-    collector's tracing window for few-core machines. *)
+    collector's tracing window for few-core machines.  When [obs] is an
+    enabled reporter, the collector emits one [gc-cycle] record per cycle
+    (handshake round latencies, marks, CAS attempts/wins, barrier
+    fast-path rate) and the harness a final [harness] record. *)

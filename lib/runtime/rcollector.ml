@@ -8,13 +8,21 @@
 open Rshared
 
 let handshake sh typ =
+  let t0 = Unix.gettimeofday () in
   Array.iter (fun slot -> Atomic.set slot typ) sh.hs_req;
   Array.iter
     (fun slot ->
       while Atomic.get slot <> Hs_none do
         Domain.cpu_relax ()
       done)
-    sh.hs_req
+    sh.hs_req;
+  (* round latency: a ragged handshake is only done once the slowest
+     mutator acked, so this is the collector-observed stall.  Single
+     writer (the collector), so a plain histogram suffices. *)
+  let dt = Unix.gettimeofday () -. t0 in
+  Obs.Metrics.aincr sh.hs_rounds;
+  Obs.Metrics.observe sh.hs_latency dt;
+  dt
 
 (* Scan greys depth-first: marking a child greys it onto the same stack;
    popping an object blackens it (its children have been marked). *)
@@ -30,6 +38,18 @@ let rec drain sh stack =
     drain sh !stack
 
 let cycle sh =
+  let observing = Obs.Reporter.enabled sh.obs in
+  let t_cycle = Unix.gettimeofday () in
+  (* counter baselines for this cycle's deltas *)
+  let cas_attempts0 = Atomic.get sh.cas_attempts in
+  let cas_wins0 = Atomic.get sh.cas_wins in
+  let fast0 = Atomic.get sh.barrier_fast_path in
+  let frees0 = Atomic.get sh.heap.Rheap.frees in
+  let hs_latencies = ref [] in
+  let handshake sh typ =
+    let dt = handshake sh typ in
+    if observing then hs_latencies := dt :: !hs_latencies
+  in
   (* lines 3-4: everyone sees Idle; the heap is black *)
   handshake sh Hs_nop;
   (* line 5: flip the sense — the heap becomes white *)
@@ -62,7 +82,29 @@ let cycle sh =
     (Rheap.domain sh.heap);
   (* line 46 *)
   Atomic.set sh.phase Idle;
-  Atomic.incr sh.cycles
+  Atomic.incr sh.cycles;
+  if observing then begin
+    let cas_attempts = Atomic.get sh.cas_attempts - cas_attempts0 in
+    let cas_wins = Atomic.get sh.cas_wins - cas_wins0 in
+    let fast = Atomic.get sh.barrier_fast_path - fast0 in
+    let flag_tests = cas_attempts + fast in
+    Obs.Reporter.emit sh.obs "gc-cycle"
+      [
+        ("cycle", Obs.Json.Int (Atomic.get sh.cycles));
+        ("elapsed_s", Obs.Json.Float (Unix.gettimeofday () -. t_cycle));
+        ( "hs_latency_s",
+          Obs.Json.List (List.rev_map (fun dt -> Obs.Json.Float dt) !hs_latencies) );
+        ("marks", Obs.Json.Int cas_wins);
+        ("cas_attempts", Obs.Json.Int cas_attempts);
+        ("cas_wins", Obs.Json.Int cas_wins);
+        ("barrier_fast_path", Obs.Json.Int fast);
+        ( "barrier_fast_path_rate",
+          Obs.Json.Float
+            (if flag_tests > 0 then float_of_int fast /. float_of_int flag_tests else 0.) );
+        ("freed", Obs.Json.Int (Atomic.get sh.heap.Rheap.frees - frees0));
+        ("live", Obs.Json.Int (Rheap.live_count sh.heap));
+      ]
+  end
 
 let run sh =
   while not (Atomic.get sh.stop) do

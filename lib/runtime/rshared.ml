@@ -30,14 +30,24 @@ type t = {
   stop_muts : bool Atomic.t;
     (* harness: mutators may exit — raised only after the collector has
        stopped, since a live collector blocks on their handshake acks *)
-  (* statistics *)
+  (* statistics: atomic, so instrumentation adds no synchronisation beyond
+     the fetch-and-adds the paper's ghost counters already imply *)
   cycles : int Atomic.t;
   cas_attempts : int Atomic.t;
   cas_wins : int Atomic.t;
   barrier_fast_path : int Atomic.t;
+  (* observability: a per-instance metrics registry (the harness and the
+     bench create many instances; registering into the process-wide
+     registry would accumulate dead metrics) and an event reporter used by
+     the collector for per-cycle records *)
+  obs : Obs.Reporter.t;
+  registry : Obs.Metrics.registry;
+  hs_rounds : Obs.Metrics.acounter;  (* handshake rounds completed *)
+  hs_latency : Obs.Metrics.histogram;  (* seconds per round; collector-only writer *)
 }
 
-let make ?(trace_pause = 0.) ~n_slots ~n_fields ~n_muts () =
+let make ?(trace_pause = 0.) ?(obs = Obs.Reporter.null) ~n_slots ~n_fields ~n_muts () =
+  let registry = Obs.Metrics.create_registry () in
   {
     heap = Rheap.make ~n_slots ~n_fields;
     trace_pause;
@@ -53,6 +63,10 @@ let make ?(trace_pause = 0.) ~n_slots ~n_fields ~n_muts () =
     cas_attempts = Atomic.make 0;
     cas_wins = Atomic.make 0;
     barrier_fast_path = Atomic.make 0;
+    obs;
+    registry;
+    hs_rounds = Obs.Metrics.acounter ~registry "hs_rounds";
+    hs_latency = Obs.Metrics.histogram ~registry "hs_latency_s";
   }
 
 let n_muts sh = Array.length sh.hs_req

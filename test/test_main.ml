@@ -10,4 +10,5 @@ let () =
       ("invariants", Test_invariants.suite);
       ("safety", Test_safety.suite);
       ("runtime", Test_runtime.suite);
+      ("obs", Test_obs.suite);
     ]
