@@ -216,12 +216,73 @@ let checker_throughput () =
       ("walk_steps_per_sec", Obs.Json.Float walk_rate);
     ]
 
-(* The machine-readable report: one record per Bechamel group plus the
-   checker throughput block.  Written next to the text output so perf PRs
-   can diff BENCH_*.json across revisions. *)
-let bench_report_file = "BENCH_1.json"
+(* -- checker-par: speedup vs domains ----------------------------------------
 
-let write_report groups checker =
+   Level-synchronized parallel BFS on the fig10 exhaustive-closure
+   instance, exploring the identical state space at 1, 2 and 4 domains.
+   The speedup column (sequential states/sec over parallel states/sec) is
+   what perf PRs diff; the same rows are emitted into the report under
+   "checker_par". *)
+
+let checker_par_jobs = [ 1; 2; 4 ]
+
+let checker_par () =
+  let sc =
+    Core.Scenario.make ~label:"fig10/exhaustive-closure" ~n_refs:2 ~shape:"single"
+      ~max_mut_ops:2 ()
+  in
+  let rate (o : _ Check.Explore.outcome) =
+    if o.Check.Explore.elapsed > 0. then
+      float_of_int o.Check.Explore.states /. o.Check.Explore.elapsed
+    else 0.
+  in
+  let seq = Core.Scenario.explore sc in
+  let seq_rate = rate seq in
+  let rows =
+    List.map
+      (fun jobs ->
+        let o = if jobs = 1 then seq else Core.Scenario.explore ~jobs sc in
+        let r = rate o in
+        let speedup = if seq_rate > 0. then r /. seq_rate else 0. in
+        Fmt.pr "  %-44s %12.0f states/s  %5.2fx@."
+          (Fmt.str "checker-par-jobs-%d (%d states)" jobs o.Check.Explore.states)
+          r speedup;
+        if o.Check.Explore.states <> seq.Check.Explore.states then
+          Fmt.pr "  WARNING: jobs=%d visited %d states, sequential visited %d@." jobs
+            o.Check.Explore.states seq.Check.Explore.states;
+        Obs.Json.Obj
+          [
+            ("jobs", Obs.Json.Int jobs);
+            ("states", Obs.Json.Int o.Check.Explore.states);
+            ("transitions", Obs.Json.Int o.Check.Explore.transitions);
+            ("elapsed_s", Obs.Json.Float o.Check.Explore.elapsed);
+            ("states_per_sec", Obs.Json.Float r);
+            ("speedup_vs_seq", Obs.Json.Float speedup);
+          ])
+      checker_par_jobs
+  in
+  Obs.Json.Obj
+    [
+      ("scenario", Obs.Json.String sc.Core.Scenario.label);
+      ("rows", Obs.Json.List rows);
+    ]
+
+(* The machine-readable report: one record per Bechamel group, the checker
+   throughput block, and the checker-par scaling block.  Written next to
+   the text output so perf PRs can diff BENCH_*.json across revisions.
+   The path is a CLI flag (-o FILE) so revisions can write side by side. *)
+let bench_report_file = ref "BENCH_2.json"
+
+let parse_cli () =
+  Arg.parse
+    [
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_2.json)");
+      ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench [-o FILE]"
+
+let write_report groups checker checker_par =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -242,18 +303,22 @@ let write_report groups checker =
   let report =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "relaxing-safely-bench-v1");
+        ("schema", Obs.Json.String "relaxing-safely-bench-v2");
+        ("ocaml_version", Obs.Json.String Sys.ocaml_version);
+        ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("groups", Obs.Json.List (List.map group_record groups));
         ("checker", checker);
+        ("checker_par", checker_par);
       ]
   in
-  let oc = open_out bench_report_file in
+  let oc = open_out !bench_report_file in
   output_string oc (Obs.Json.to_string report);
   output_char oc '\n';
   close_out oc;
-  Fmt.pr "wrote %s@." bench_report_file
+  Fmt.pr "wrote %s@." !bench_report_file
 
 let () =
+  parse_cli ();
   shape_results ();
   Fmt.pr "=== timings (Bechamel, monotonic clock) ===@.";
   let cycle_test, cleanup = fig2_cycle () in
@@ -271,5 +336,8 @@ let () =
   in
   cleanup ();
   let checker = checker_throughput () in
-  write_report groups checker;
+  Fmt.pr "=== checker-par (speedup vs domains, %d recommended) ===@."
+    (Domain.recommended_domain_count ());
+  let checker_par = checker_par () in
+  write_report groups checker checker_par;
   Fmt.pr "done.@."

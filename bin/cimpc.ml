@@ -61,10 +61,17 @@ let run_cmd =
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State cap.")
   in
-  let run src max_states obs =
+  let jobs =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains (1 = sequential; higher runs the parallel BFS).")
+  in
+  let run src max_states jobs obs =
     let sys = Cimp_lang.Compile.of_source src in
     let o =
-      Check.Explore.run ~max_states ~obs
+      Check.Par_explore.run ~jobs ~max_states ~obs
         ~invariants:[ ("assertions", Cimp_lang.Compile.assertions_hold) ]
         sys
     in
@@ -78,7 +85,7 @@ let run_cmd =
     | None -> Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "run" ~doc:"Explore the compiled system, checking asserts.")
-    Term.(const run $ source_term $ max_states $ obs_term)
+    Term.(const run $ source_term $ max_states $ jobs $ obs_term)
 
 let examples_cmd =
   let run () =

@@ -77,6 +77,15 @@ let safety_only =
 let max_states =
   Arg.(value & opt int 10_000_000 & info [ "max-states" ] ~doc:"State cap for exploration.")
 
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Worker domains. 1 (the default) is the sequential checker; higher values run the \
+           level-synchronized parallel BFS (explore) or the random-walk swarm (walk).")
+
 let model_of (cfg, _v) shape =
   match Gcheap.Shapes.by_name ~n_refs:cfg.Core.Config.n_refs ~n_fields:cfg.Core.Config.n_fields shape with
   | None -> Fmt.failwith "unknown shape %s" shape
@@ -97,14 +106,14 @@ let report cfg obs (violation : _ Check.Trace.t option) =
     Obs.Reporter.emit obs "violation" [ ("trace", Check.Trace.to_json tr) ]
 
 let explore_cmd =
-  let run cv shape safety_only max_states obs =
+  let run cv shape safety_only max_states jobs obs =
     let cfg, v = cv in
     let model = model_of cv shape in
-    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d@."
+    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d@."
       v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
-      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops;
+      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs;
     let o =
-      Check.Explore.run ~max_states ~obs ~invariants:(invariants_of cfg safety_only)
+      Check.Par_explore.run ~jobs ~max_states ~obs ~invariants:(invariants_of cfg safety_only)
         model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
@@ -112,25 +121,26 @@ let explore_cmd =
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states $ obs_term)
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run cv shape safety_only steps seed obs =
+  let run cv shape safety_only steps seed jobs obs =
     let cfg, v = cv in
     let model = model_of cv shape in
-    Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d@." v.Core.Variants.name shape steps seed;
+    Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d jobs=%d@." v.Core.Variants.name
+      shape steps seed jobs;
     let o =
-      Check.Random_walk.run ~seed ~steps ~obs ~invariants:(invariants_of cfg safety_only)
-        model.Core.Model.system
+      Check.Random_walk.swarm ~jobs ~seed ~steps ~obs
+        ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
     report cfg obs o.Check.Random_walk.violation;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ obs_term)
+    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ jobs $ obs_term)
 
 let variants_cmd =
   let run () =

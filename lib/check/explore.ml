@@ -78,7 +78,11 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   in
   let t0 = Unix.gettimeofday () in
   let seen = Fingerprint.Table.create 65536 in
-  (* parent pointers for trace reconstruction *)
+  (* Parent pointers for trace reconstruction: fingerprint + event only.
+     Retaining every full state here used to dominate the checker's
+     memory; counterexamples are instead rebuilt by bounded replay
+     (walk the fingerprint chain back to the root, then re-execute the
+     recorded events forward from [initial]). *)
   let parent = Fingerprint.Table.create 65536 in
   let q = Queue.create () in
   let states = ref 0 in
@@ -120,20 +124,42 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     end
   in
   let reconstruct fp broken =
-    (* walk parent pointers back to the root, then replay forward *)
+    (* Walk parent pointers back to the root, then replay the recorded
+       events forward from [initial].  An event alone does not determine
+       the successor (a Local_op may offer several successors under one
+       label), so each replay step also matches the recorded fingerprint
+       of the state it must land in.  Cost is O(depth * branching). *)
     let rec back fp acc =
       match Fingerprint.Table.find_opt parent fp with
       | None -> acc
-      | Some (pfp, event, state) -> back pfp ({ Trace.event; state } :: acc)
+      | Some (pfp, event) -> back pfp ((fp, event) :: acc)
     in
-    { Trace.initial; steps = back fp []; broken }
+    let chain = back fp [] in
+    let rec replay sys chain acc =
+      match chain with
+      | [] -> List.rev acc
+      | (fp', ev) :: rest -> (
+        let next =
+          List.find_map
+            (fun (e, s') ->
+              if e = ev then
+                let s' = norm s' in
+                if Fingerprint.equal (Fingerprint.of_system s') fp' then Some s' else None
+              else None)
+            (Cimp.System.steps sys)
+        in
+        match next with
+        | Some s' -> replay s' rest ({ Trace.event = ev; state = s' } :: acc)
+        | None -> List.rev acc (* unreachable: the chain records real transitions *))
+    in
+    { Trace.initial; steps = replay initial chain []; broken }
   in
   let enqueue ~from_fp ~event ~d sys =
     let fp = Fingerprint.of_system sys in
     if not (Fingerprint.Table.mem seen fp) then begin
       Fingerprint.Table.add seen fp ();
       (match (from_fp, event) with
-      | Some pfp, Some ev -> Fingerprint.Table.add parent fp (pfp, ev, sys)
+      | Some pfp, Some ev -> Fingerprint.Table.add parent fp (pfp, ev)
       | _ -> ());
       incr states;
       if d > !depth then depth := d;
@@ -147,22 +173,28 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     end
   in
   enqueue ~from_fp:None ~event:None ~d:0 initial;
-  let continue = ref true in
-  while !continue && not (Queue.is_empty q) && !violation = None do
+  (* Successor scan that stops at the state cap: once [max_states]
+     distinct states exist, further successors are neither scanned nor
+     enqueued, and the BFS loop below terminates instead of draining the
+     remaining frontier (which could add nothing: invariants are checked
+     at insertion time). *)
+  let rec expand fp d = function
+    | [] -> ()
+    | (event, sys') :: rest ->
+      if !states >= max_states then truncated := true
+      else begin
+        incr transitions;
+        record_event event;
+        enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1) (norm sys');
+        expand fp d rest
+      end
+  in
+  while not (Queue.is_empty q) && !violation = None && not !truncated do
     let fp, sys, d = Queue.pop q in
     let succs = Cimp.System.steps sys in
     if succs = [] then incr deadlocks;
-    List.iter
-      (fun (event, sys') ->
-        incr transitions;
-        record_event event;
-        if !states < max_states then
-          enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1) (norm sys')
-        else truncated := true)
-      succs;
-    heartbeat ();
-    if !states >= max_states then truncated := true;
-    if !truncated && Queue.is_empty q then continue := false
+    expand fp d succs;
+    heartbeat ()
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
   let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in

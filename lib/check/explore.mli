@@ -22,6 +22,10 @@ type ('a, 'v, 's) outcome = {
 
 val pp_outcome : ('a, 'v, 's) outcome Fmt.t
 
+(** Sort (pid, label) coverage pairs deterministically (by pid, then
+    label), as the [covered] field is; shared with {!Par_explore}. *)
+val sort_coverage : (int * Cimp.Label.t) list -> (int * Cimp.Label.t) list
+
 (** [coverage_gaps sys ~covered] lists the (pid, label) pairs of [sys]'s
     programs that never fired, sorted by pid then label.  Pass the
     checker's {e initial} system (its stacks still hold the full
@@ -35,7 +39,8 @@ val coverage_gaps :
     shortest one.
 
     @param max_states cap on distinct states (default 1,000,000); hitting
-           it sets [truncated].
+           it sets [truncated] and stops the exploration (no further
+           successors are scanned or enqueued).
     @param normal_form explore {!Cimp.System.normalize} normal forms
            (default [true]): runs of deterministic local steps execute
            eagerly, so invariants are evaluated at atomic-action

@@ -3,12 +3,31 @@
     Control state is identified by the label spine of each process's frame
     stack; data states must be canonical plain OCaml data (no closures, no
     cycles, canonical collection representations), which everything in the
-    GC model is — then polymorphic comparison and hashing are sound. *)
+    GC model is — then structural comparison is sound.
+
+    Each fingerprint caches a compact word-sized structural hash (an
+    FNV-1a-style mix over the label spine and the data representation,
+    never 0), computed once at {!of_system}.  It replaces the former
+    polymorphic [Hashtbl.hash_param] hash and is strong enough to key the
+    parallel explorer's seen-set on its own: collisions occur with
+    probability about [n^2 / 2^63] for [n] states. *)
 
 type t
 
 val of_system : ('a, 'v, 's) Cimp.System.t -> t
+
+(** Structural equality (the cached hash is used as a cheap negative
+    filter first). *)
 val equal : t -> t -> bool
+
+(** The compact structural fingerprint as a native int (never 0). *)
 val hash : t -> int
+
+(** The same fingerprint presented as a non-zero int64. *)
+val fp64 : t -> int64
+
+(** The pre-existing polymorphic hash ([Hashtbl.hash_param 64 256]), kept
+    so tests can compare collision/determinism behaviour of both hashes. *)
+val hash_poly : t -> int
 
 module Table : Hashtbl.S with type key = t

@@ -1,0 +1,416 @@
+(* Parallel exhaustive exploration: level-synchronized BFS across OCaml 5
+   domains.
+
+   The state space is explored one BFS level at a time; a level's frontier
+   is split into contiguous slices, one worker domain per slice, and the
+   workers meet at a barrier (Domain.join) before the next level starts.
+   Level synchronization preserves the shortest-counterexample semantics
+   of the sequential explorer: a violation discovered at level d+1 cannot
+   be preempted by a shorter one, because every state of depth <= d was
+   inserted at an earlier level.
+
+   Memory layout is the point of the exercise (cf. "Reducing State
+   Explosion for Software Model Checking with Relaxed Memory Consistency
+   Models"): full states live only in the current and next frontier.  The
+   seen-set is sharded by the low bits of the compact structural
+   fingerprint (Fingerprint.hash) into independently-locked
+   open-addressing tables over unboxed int bigarrays, storing three words
+   per state — fingerprint, parent fingerprint, packed event — so the
+   closed set costs 24 bytes/state regardless of state size.
+   Counterexamples are rebuilt by bounded replay of the recorded event
+   chain, exactly as in the sequential explorer.
+
+   Determinism: on a run with no violation, {states, transitions, depth,
+   deadlocks, covered} are equal to the sequential explorer's for every
+   [jobs] (the BFS level sets are scheduling-independent; only which
+   parent a state records is racy, which affects neither counts nor
+   verdicts).  On a violating run all equal-depth (shortest) violations
+   are collected at the level barrier and the one with the smallest
+   fingerprint is reported, so the verdict and trace length are
+   deterministic; the sequential explorer additionally stops mid-level,
+   so state counts of violating runs are not comparable across [jobs]. *)
+
+type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
+
+(* -- packed events ----------------------------------------------------------
+
+   Parent-table entries store the generating event as one native int.
+   Labels are interned against the initial system's programs (every label
+   a run can fire occurs in the initial frame stacks — the same property
+   [Explore.coverage_gaps] relies on).  Layout, from bit 0:
+     tau:        label(20) | pid(10)..(bits 20-29)           kind bit 62 = 0
+     rendezvous: resp_label(20) | responder(10) | req_label(20, bits 30-49)
+                 | requester(10, bits 50-59)                 kind bit 62 = 1 *)
+
+let label_bits = 20
+let pid_bits = 10
+
+let intern_labels sys =
+  let ids = Hashtbl.create 256 in
+  let rev = ref [] in
+  let n = ref 0 in
+  for p = 0 to Cimp.System.n_procs sys - 1 do
+    List.iter
+      (fun l ->
+        if not (Hashtbl.mem ids l) then begin
+          Hashtbl.add ids l !n;
+          rev := l :: !rev;
+          incr n
+        end)
+      (List.concat_map Cimp.Com.labels (Cimp.System.proc sys p).Cimp.Com.stack)
+  done;
+  if !n >= 1 lsl label_bits then invalid_arg "Par_explore: too many labels to pack";
+  if Cimp.System.n_procs sys >= 1 lsl pid_bits then
+    invalid_arg "Par_explore: too many processes to pack";
+  (ids, Array.of_list (List.rev !rev))
+
+let label_id ids l =
+  match Hashtbl.find_opt ids l with
+  | Some i -> i
+  | None -> invalid_arg ("Par_explore: label not in the initial program: " ^ l)
+
+let encode_event ids = function
+  | Cimp.System.Tau (p, l) -> (p lsl label_bits) lor label_id ids l
+  | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
+    (1 lsl 62)
+    lor (requester lsl 50)
+    lor (label_id ids req_label lsl 30)
+    lor (responder lsl label_bits)
+    lor label_id ids resp_label
+
+let decode_event labels code =
+  let lmask = (1 lsl label_bits) - 1 in
+  let pmask = (1 lsl pid_bits) - 1 in
+  if (code lsr 62) land 1 = 0 then
+    Cimp.System.Tau ((code lsr label_bits) land pmask, labels.(code land lmask))
+  else
+    Cimp.System.Rendezvous
+      {
+        requester = (code lsr 50) land pmask;
+        req_label = labels.((code lsr 30) land lmask);
+        responder = (code lsr label_bits) land pmask;
+        resp_label = labels.(code land lmask);
+      }
+
+(* -- the sharded seen-set ---------------------------------------------------
+
+   [n_shards] independently-locked open-addressing tables with linear
+   probing.  The shard is picked by the fingerprint's low bits, the slot
+   by the next bits, so the two indices do not alias.  Keys, parents and
+   packed events are parallel unboxed int arrays; key 0 marks an empty
+   slot (Fingerprint.hash is never 0). *)
+
+module Seen = struct
+  let n_shards = 64
+  let shard_bits = 6 (* log2 n_shards *)
+
+  type shard = {
+    lock : Mutex.t;
+    mutable keys : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    mutable parents : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    mutable events : int array;
+    mutable count : int;
+  }
+
+  type t = shard array
+
+  let make_arr cap =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
+    Bigarray.Array1.fill a 0;
+    a
+
+  let shard_cap = 1024 (* initial slots per shard; doubles at 70% load *)
+
+  let create () =
+    Array.init n_shards (fun _ ->
+        {
+          lock = Mutex.create ();
+          keys = make_arr shard_cap;
+          parents = make_arr shard_cap;
+          events = Array.make shard_cap 0;
+          count = 0;
+        })
+
+  let shard (t : t) fp = t.(fp land (n_shards - 1))
+
+  (* Slot of [fp], or of the empty slot where it belongs; caller locks. *)
+  let probe keys cap fp =
+    let mask = cap - 1 in
+    let i = ref ((fp asr shard_bits) land mask) in
+    let go = ref true in
+    while !go do
+      let k = Bigarray.Array1.unsafe_get keys !i in
+      if k = 0 || k = fp then go := false else i := (!i + 1) land mask
+    done;
+    !i
+
+  let grow s =
+    let old_cap = Bigarray.Array1.dim s.keys in
+    let cap = 2 * old_cap in
+    let keys = make_arr cap in
+    let parents = make_arr cap in
+    let events = Array.make cap 0 in
+    for i = 0 to old_cap - 1 do
+      let k = Bigarray.Array1.unsafe_get s.keys i in
+      if k <> 0 then begin
+        let j = probe keys cap k in
+        Bigarray.Array1.unsafe_set keys j k;
+        Bigarray.Array1.unsafe_set parents j (Bigarray.Array1.unsafe_get s.parents i);
+        events.(j) <- s.events.(i)
+      end
+    done;
+    s.keys <- keys;
+    s.parents <- parents;
+    s.events <- events
+
+  (* [add t fp ~parent ~event] returns true iff [fp] was not present,
+     recording (parent, event) for replay when it is fresh. *)
+  let add (t : t) fp ~parent ~event =
+    let s = shard t fp in
+    Mutex.lock s.lock;
+    let cap = Bigarray.Array1.dim s.keys in
+    if 10 * (s.count + 1) > 7 * cap then grow s;
+    let cap = Bigarray.Array1.dim s.keys in
+    let i = probe s.keys cap fp in
+    let fresh = Bigarray.Array1.unsafe_get s.keys i = 0 in
+    if fresh then begin
+      Bigarray.Array1.unsafe_set s.keys i fp;
+      Bigarray.Array1.unsafe_set s.parents i parent;
+      s.events.(i) <- event;
+      s.count <- s.count + 1
+    end;
+    Mutex.unlock s.lock;
+    fresh
+
+  let find (t : t) fp =
+    let s = shard t fp in
+    Mutex.lock s.lock;
+    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
+    let r =
+      if Bigarray.Array1.unsafe_get s.keys i = fp then
+        Some (Bigarray.Array1.unsafe_get s.parents i, s.events.(i))
+      else None
+    in
+    Mutex.unlock s.lock;
+    r
+end
+
+(* -- the explorer ------------------------------------------------------------ *)
+
+let max_jobs = 64
+
+let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
+    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants initial =
+  let jobs = max 1 (min jobs max_jobs) in
+  if jobs = 1 then
+    (* the sequential explorer is the jobs=1 semantics, bit for bit *)
+    Explore.run ~max_states ~normal_form ~track_coverage ~obs ~heartbeat_every ~invariants
+      initial
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+    let initial = norm initial in
+    let label_ids, labels = intern_labels initial in
+    let seen = Seen.create () in
+    let states = Atomic.make 0 in
+    let transitions = Atomic.make 0 in
+    let deadlocks = Atomic.make 0 in
+    let truncated = Atomic.make false in
+    let depth = ref 0 in
+    let violation = ref None in
+    (* worker-indexed so each domain owns its instrumentation arrays *)
+    let ivs = Array.init jobs (fun _ -> Inv_stats.make ~obs invariants) in
+    let coverage =
+      Array.init jobs (fun _ -> Hashtbl.create (if track_coverage then 512 else 1))
+    in
+    let record_event w ev =
+      if track_coverage then begin
+        match ev with
+        | Cimp.System.Tau (p, l) -> Hashtbl.replace coverage.(w) (p, l) ()
+        | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
+          Hashtbl.replace coverage.(w) (requester, req_label) ();
+          Hashtbl.replace coverage.(w) (responder, resp_label) ()
+      end
+    in
+    let reconstruct fp broken =
+      (* chain of (fingerprint, packed event) from the root to [fp] ... *)
+      let rec back fp acc =
+        match Seen.find seen fp with
+        | Some (parent, ev) when parent <> 0 -> back parent ((fp, ev) :: acc)
+        | _ -> acc
+      in
+      let chain = back fp [] in
+      (* ... replayed forward, disambiguating same-label successors by the
+         recorded fingerprint (as in Explore.run). *)
+      let rec replay sys chain acc =
+        match chain with
+        | [] -> List.rev acc
+        | (fp', code) :: rest -> (
+          let ev = decode_event labels code in
+          let next =
+            List.find_map
+              (fun (e, s') ->
+                if e = ev then
+                  let s' = norm s' in
+                  if Fingerprint.hash (Fingerprint.of_system s') = fp' then Some s' else None
+                else None)
+              (Cimp.System.steps sys)
+          in
+          match next with
+          | Some s' -> replay s' rest ({ Trace.event = ev; state = s' } :: acc)
+          | None -> List.rev acc (* unreachable: the chain records real transitions *))
+      in
+      { Trace.initial; steps = replay initial chain []; broken }
+    in
+    (* One worker's share of a level: expand frontier[lo..hi), insert fresh
+       successors into the shared seen-set, return them (with the level's
+       invariant violations) for the next frontier.  Each worker emits its
+       own heartbeats, tagged with its domain index. *)
+    let process_slice w (frontier : (int * _) array) lo hi level =
+      let iv = ivs.(w) in
+      let next = ref [] in
+      let viols = ref [] in
+      let expanded = ref 0 in
+      let hb_expanded = ref 0 in
+      let hb_time = ref (Unix.gettimeofday ()) in
+      for i = lo to hi - 1 do
+        let fp, sys = frontier.(i) in
+        let succs = Cimp.System.steps sys in
+        if succs = [] then Atomic.incr deadlocks;
+        List.iter
+          (fun (event, sys') ->
+            if Atomic.get states < max_states then begin
+              Atomic.incr transitions;
+              record_event w event;
+              let sys' = norm sys' in
+              let fp' = Fingerprint.hash (Fingerprint.of_system sys') in
+              if Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event) then begin
+                let n = Atomic.fetch_and_add states 1 + 1 in
+                if n >= max_states then Atomic.set truncated true;
+                next := (fp', sys') :: !next;
+                match iv.Inv_stats.check sys' with
+                | Some name -> viols := (fp', name) :: !viols
+                | None -> ()
+              end
+            end
+            else Atomic.set truncated true)
+          succs;
+        incr expanded;
+        if Obs.Reporter.enabled obs && !expanded - !hb_expanded >= heartbeat_every then begin
+          let now = Unix.gettimeofday () in
+          let interval = now -. !hb_time in
+          let rate =
+            if interval > 0. then float_of_int (!expanded - !hb_expanded) /. interval else 0.
+          in
+          let gc = Gc.quick_stat () in
+          Obs.Reporter.emit obs "heartbeat"
+            [
+              ("checker", Obs.Json.String "par-explore");
+              ("domain", Obs.Json.Int w);
+              ("level", Obs.Json.Int level);
+              ("states", Obs.Json.Int (Atomic.get states));
+              ("transitions", Obs.Json.Int (Atomic.get transitions));
+              ("states_per_sec", Obs.Json.Float rate);
+              ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+            ];
+          hb_expanded := !expanded;
+          hb_time := now
+        end
+      done;
+      (!next, !viols)
+    in
+    (* root *)
+    let fp0 = Fingerprint.hash (Fingerprint.of_system initial) in
+    ignore (Seen.add seen fp0 ~parent:0 ~event:0);
+    Atomic.set states 1;
+    (match ivs.(0).Inv_stats.check initial with
+    | Some name -> violation := Some { Trace.initial; steps = []; broken = name }
+    | None -> ());
+    (* level loop; [d] is the depth of the frontier being expanded *)
+    let rec loop frontier d =
+      if Array.length frontier > 0 && !violation = None && not (Atomic.get truncated) then begin
+        let len = Array.length frontier in
+        (* tiny levels are not worth a fork-join round trip *)
+        let k = if len < 4 * jobs then 1 else jobs in
+        let results =
+          if k = 1 then [ process_slice 0 frontier 0 len d ]
+          else begin
+            let chunk = (len + k - 1) / k in
+            let bounds w = (w * chunk, min len ((w + 1) * chunk)) in
+            let doms =
+              Array.init (k - 1) (fun j ->
+                  let lo, hi = bounds (j + 1) in
+                  Domain.spawn (fun () -> process_slice (j + 1) frontier lo hi d))
+            in
+            let r0 =
+              let lo, hi = bounds 0 in
+              process_slice 0 frontier lo hi d
+            in
+            r0 :: Array.to_list (Array.map Domain.join doms)
+          end
+        in
+        let next = List.concat_map fst results in
+        if next <> [] then depth := d + 1;
+        (match List.concat_map snd results with
+        | [] -> ()
+        | v :: vs ->
+          (* all shortest violations are on this level; report the one
+             with the smallest fingerprint, which is deterministic *)
+          let fp, name =
+            List.fold_left (fun (bf, bn) (f, n) -> if f < bf then (f, n) else (bf, bn)) v vs
+          in
+          violation := Some (reconstruct fp name));
+        if !violation = None then loop (Array.of_list next) (d + 1)
+      end
+    in
+    loop [| (fp0, initial) |] 0;
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
+    Array.iter (fun iv -> iv.Inv_stats.report obs ~first_violation) ivs;
+    let states = Atomic.get states in
+    let transitions = Atomic.get transitions in
+    let deadlocks = Atomic.get deadlocks in
+    let truncated = Atomic.get truncated in
+    if Obs.Reporter.enabled obs then begin
+      let rate = if elapsed > 0. then float_of_int states /. elapsed else 0. in
+      Obs.Reporter.emit obs "outcome"
+        [
+          ("checker", Obs.Json.String "par-explore");
+          ("jobs", Obs.Json.Int jobs);
+          ("states", Obs.Json.Int states);
+          ("transitions", Obs.Json.Int transitions);
+          ("depth", Obs.Json.Int !depth);
+          ("deadlocks", Obs.Json.Int deadlocks);
+          ("truncated", Obs.Json.Bool truncated);
+          ( "violation",
+            match first_violation with
+            | None -> Obs.Json.Null
+            | Some name -> Obs.Json.String name );
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("states_per_sec", Obs.Json.Float rate);
+        ];
+      Obs.Reporter.emit obs "scaling"
+        [
+          ("checker", Obs.Json.String "par-explore");
+          ("jobs", Obs.Json.Int jobs);
+          ("states", Obs.Json.Int states);
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("states_per_sec", Obs.Json.Float rate);
+        ]
+    end;
+    let covered =
+      let merged = Hashtbl.create 512 in
+      Array.iter (fun tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace merged k ()) tbl) coverage;
+      Explore.sort_coverage (Hashtbl.fold (fun k () acc -> k :: acc) merged [])
+    in
+    {
+      Explore.states;
+      transitions;
+      depth = !depth;
+      deadlocks;
+      truncated;
+      violation = !violation;
+      elapsed;
+      covered;
+    }
+  end

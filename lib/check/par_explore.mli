@@ -1,0 +1,47 @@
+(** Parallel exhaustive exploration: level-synchronized BFS across OCaml 5
+    domains, preserving the sequential explorer's shortest-counterexample
+    semantics.
+
+    The frontier of each BFS level is split across [jobs] worker domains
+    that meet at a barrier before the next level.  The seen-set is sharded
+    by the low bits of the compact structural fingerprint into
+    independently-locked open-addressing tables over unboxed int arrays
+    storing three words per state (fingerprint, parent fingerprint, packed
+    event) — full states are retained only for the current and next
+    frontier, and counterexamples are rebuilt by bounded replay of the
+    recorded event chain.
+
+    On runs with no violation, every outcome field except [elapsed] equals
+    the sequential explorer's, for any [jobs] (modulo fingerprint
+    collisions, probability ~ n^2/2^63).  On violating runs the reported
+    violation has minimal depth and among the equal-depth candidates the
+    smallest fingerprint, so the verdict and trace length are
+    deterministic; which parent chain (schedule) the trace follows may
+    differ from the sequential explorer's. *)
+
+type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
+
+(** [run ~jobs ~invariants initial] explores from [initial] with [jobs]
+    worker domains.  [jobs <= 1] (the default) delegates to
+    {!Explore.run}, so default results are bit-for-bit the sequential
+    ones; [jobs] is capped at 64.
+
+    Remaining parameters are as in {!Explore.run}, with two parallel-mode
+    deviations: [max_states] may overshoot by at most the number of
+    in-flight successors (one per worker), and hitting it stops the run
+    at the end of the current level.  When [obs] is enabled, each worker
+    emits its own [heartbeat] records tagged with a [domain] index, each
+    worker reports its own per-[invariant] records (aggregate across
+    domains for totals), and the run ends with an [outcome] record plus a
+    [scaling] record ([jobs], [states], [elapsed_s], [states_per_sec])
+    for speedup-vs-domains tracking. *)
+val run :
+  ?jobs:int ->
+  ?max_states:int ->
+  ?normal_form:bool ->
+  ?track_coverage:bool ->
+  ?obs:Obs.Reporter.t ->
+  ?heartbeat_every:int ->
+  invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
+  ('a, 'v, 's) Cimp.System.t ->
+  ('a, 'v, 's) outcome

@@ -18,8 +18,9 @@ let pp_outcome ppf o =
     o.elapsed
 
 let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form = true)
-    ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants
-    initial =
+    ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000)
+    ?(should_stop = fun () -> false) ?domain ~invariants initial =
+  let domain_field = match domain with None -> [] | Some d -> [ ("domain", Obs.Json.Int d) ] in
   let trace_tail = max 1 trace_tail in
   let t0 = Unix.gettimeofday () in
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
@@ -42,14 +43,15 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
       in
       let gc = Gc.quick_stat () in
       Obs.Reporter.emit obs "heartbeat"
-        [
-          ("checker", Obs.Json.String "walk");
-          ("steps", Obs.Json.Int !taken);
-          ("runs", Obs.Json.Int !runs);
-          ("dead_end_restarts", Obs.Json.Int !restarts);
-          ("steps_per_sec", Obs.Json.Float rate);
-          ("heap_words", Obs.Json.Int gc.Gc.heap_words);
-        ];
+        (("checker", Obs.Json.String "walk")
+         :: domain_field
+        @ [
+            ("steps", Obs.Json.Int !taken);
+            ("runs", Obs.Json.Int !runs);
+            ("dead_end_restarts", Obs.Json.Int !restarts);
+            ("steps_per_sec", Obs.Json.Float rate);
+            ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+          ]);
       hb_taken := !taken;
       hb_time := now
     end
@@ -57,7 +59,7 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
   (match check_state initial with
   | Some name -> violation := Some { Trace.initial; steps = []; broken = name }
   | None -> ());
-  while !violation = None && !taken < steps do
+  while !violation = None && !taken < steps && not (should_stop ()) do
     incr runs;
     let sys = ref initial in
     let len = ref 0 in
@@ -67,7 +69,10 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
     let rev_steps = ref [] in
     let tail_len = ref 0 in
     let continue = ref true in
-    while !continue && !violation = None && !taken < steps && !len < max_run_length do
+    while
+      !continue && !violation = None && !taken < steps && !len < max_run_length
+      && not (should_stop ())
+    do
       match Cimp.System.steps !sys with
       | [] ->
         (* dead end; restart *)
@@ -98,17 +103,94 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
   iv.Inv_stats.report obs ~first_violation;
   if Obs.Reporter.enabled obs then
     Obs.Reporter.emit obs "outcome"
-      [
-        ("checker", Obs.Json.String "walk");
-        ("steps", Obs.Json.Int !taken);
-        ("runs", Obs.Json.Int !runs);
-        ("dead_end_restarts", Obs.Json.Int !restarts);
-        ( "violation",
-          match first_violation with
-          | None -> Obs.Json.Null
-          | Some name -> Obs.Json.String name );
-        ("elapsed_s", Obs.Json.Float elapsed);
-        ( "steps_per_sec",
-          Obs.Json.Float (if elapsed > 0. then float_of_int !taken /. elapsed else 0.) );
-      ];
+      (("checker", Obs.Json.String "walk")
+       :: domain_field
+      @ [
+          ("steps", Obs.Json.Int !taken);
+          ("runs", Obs.Json.Int !runs);
+          ("dead_end_restarts", Obs.Json.Int !restarts);
+          ( "violation",
+            match first_violation with
+            | None -> Obs.Json.Null
+            | Some name -> Obs.Json.String name );
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ( "steps_per_sec",
+            Obs.Json.Float (if elapsed > 0. then float_of_int !taken /. elapsed else 0.) );
+        ]);
   { steps_taken = !taken; runs = !runs; restarts = !restarts; violation = !violation; elapsed }
+
+(* -- the swarm --------------------------------------------------------------
+
+   [jobs] domains walk the same root concurrently, each with a seed derived
+   from the root seed and its domain index, so the swarm covers [jobs]
+   independent schedule streams.  The first domain to find a violation
+   raises a shared stop flag that the others poll every step.  Counters are
+   aggregated through Obs atomic metrics in a swarm-private registry (so
+   repeated swarms do not pile up registrations in the process-wide one);
+   the aggregate is attached to the swarm's outcome record. *)
+
+let derive_seed seed k = seed lxor ((k + 1) * 0x9E3779B1)
+
+let swarm ?(jobs = 1) ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000)
+    ?(normal_form = true) ?(trace_tail = 1000) ?(obs = Obs.Reporter.null)
+    ?(heartbeat_every = 20_000) ~invariants initial =
+  let jobs = max 1 (min jobs 64) in
+  if jobs = 1 then
+    run ~seed ~steps ~max_run_length ~normal_form ~trace_tail ~obs ~heartbeat_every ~invariants
+      initial
+  else begin
+    let t0 = Unix.gettimeofday () in
+    let registry = Obs.Metrics.create_registry () in
+    let m_steps = Obs.Metrics.acounter ~registry "walk.swarm.steps" in
+    let m_runs = Obs.Metrics.acounter ~registry "walk.swarm.runs" in
+    let m_restarts = Obs.Metrics.acounter ~registry "walk.swarm.restarts" in
+    let stop = Atomic.make false in
+    let should_stop () = Atomic.get stop in
+    (* split the step budget across domains; the first [steps mod jobs]
+       domains take the remainder, so the total is exactly [steps] *)
+    let budget k = (steps / jobs) + if k < steps mod jobs then 1 else 0 in
+    let worker k () =
+      let o =
+        run ~seed:(derive_seed seed k) ~steps:(budget k) ~max_run_length ~normal_form
+          ~trace_tail ~obs ~heartbeat_every ~should_stop ~domain:k ~invariants initial
+      in
+      Obs.Metrics.aadd m_steps o.steps_taken;
+      Obs.Metrics.aadd m_runs o.runs;
+      Obs.Metrics.aadd m_restarts o.restarts;
+      if o.violation <> None then Atomic.set stop true;
+      o
+    in
+    let doms = Array.init (jobs - 1) (fun j -> Domain.spawn (worker (j + 1))) in
+    let o0 = worker 0 () in
+    let outcomes = o0 :: Array.to_list (Array.map Domain.join doms) in
+    (* lowest-domain-index winner; when no domain found one, None *)
+    let violation = List.find_map (fun o -> o.violation) outcomes in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let steps_taken = Obs.Metrics.acount m_steps in
+    let runs = Obs.Metrics.acount m_runs in
+    let restarts = Obs.Metrics.acount m_restarts in
+    if Obs.Reporter.enabled obs then begin
+      let rate = if elapsed > 0. then float_of_int steps_taken /. elapsed else 0. in
+      Obs.Reporter.emit obs "outcome"
+        [
+          ("checker", Obs.Json.String "walk-swarm");
+          ("jobs", Obs.Json.Int jobs);
+          ( "violation",
+            match violation with
+            | None -> Obs.Json.Null
+            | Some tr -> Obs.Json.String tr.Trace.broken );
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("steps_per_sec", Obs.Json.Float rate);
+          ("metrics", Obs.Metrics.dump ~registry ());
+        ];
+      Obs.Reporter.emit obs "scaling"
+        [
+          ("checker", Obs.Json.String "walk-swarm");
+          ("jobs", Obs.Json.Int jobs);
+          ("steps", Obs.Json.Int steps_taken);
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("steps_per_sec", Obs.Json.Float rate);
+        ]
+    end;
+    { steps_taken; runs; restarts; violation; elapsed }
+  end

@@ -27,8 +27,37 @@ val pp_outcome : ('a, 'v, 's) outcome Fmt.t
     @param obs as in {!Explore.run}: [heartbeat] records every
            [heartbeat_every] steps (steps/sec, runs, dead-end restarts,
            GC words), per-[invariant] records, and a final [outcome]
-           record. *)
+           record.
+    @param should_stop polled every step; the walk returns early when it
+           turns true (cooperative cancellation for {!swarm}).
+    @param domain tag emitted as a [domain] field on this walk's
+           heartbeat/outcome records (set by {!swarm}). *)
 val run :
+  ?seed:int ->
+  ?steps:int ->
+  ?max_run_length:int ->
+  ?normal_form:bool ->
+  ?trace_tail:int ->
+  ?obs:Obs.Reporter.t ->
+  ?heartbeat_every:int ->
+  ?should_stop:(unit -> bool) ->
+  ?domain:int ->
+  invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
+  ('a, 'v, 's) Cimp.System.t ->
+  ('a, 'v, 's) outcome
+
+(** [swarm ~jobs ~invariants initial] runs [jobs] concurrent walks of the
+    same root on separate domains, each seeded from [seed] and its domain
+    index, splitting the [steps] budget across domains (the total is
+    exactly [steps] when no violation occurs, so aggregate counters are
+    deterministic in [seed]).  The first violation found raises a stop
+    flag the other domains poll every step; the lowest-indexed finder's
+    trace is returned.  Run/step/restart counters are aggregated through
+    Obs atomic metrics in a swarm-private registry and attached to the
+    swarm's [outcome] record, followed by a [scaling] record.  [jobs <= 1]
+    delegates to {!run}; [jobs] is capped at 64. *)
+val swarm :
+  ?jobs:int ->
   ?seed:int ->
   ?steps:int ->
   ?max_run_length:int ->

@@ -45,12 +45,14 @@ let invariants ?(safety_only = false) sc =
   in
   List.map (fun i -> (i.Invariants.name, i.Invariants.check)) invs
 
-let explore ?(max_states = 30_000_000) ?safety_only ?obs sc =
-  Check.Explore.run ~max_states ?obs ~invariants:(invariants ?safety_only sc)
+(* [jobs = 1] (the default) is the sequential checker, bit for bit:
+   Par_explore.run and Random_walk.swarm both delegate. *)
+let explore ?(max_states = 30_000_000) ?(jobs = 1) ?safety_only ?obs sc =
+  Check.Par_explore.run ~jobs ~max_states ?obs ~invariants:(invariants ?safety_only sc)
     (model sc).Model.system
 
-let random_walk ?(seed = 42) ?(steps = 50_000) ?safety_only ?obs sc =
-  Check.Random_walk.run ~seed ~steps ?obs ~invariants:(invariants ?safety_only sc)
+let random_walk ?(seed = 42) ?(steps = 50_000) ?(jobs = 1) ?safety_only ?obs sc =
+  Check.Random_walk.swarm ~jobs ~seed ~steps ?obs ~invariants:(invariants ?safety_only sc)
     (model sc).Model.system
 
 (* -- Presets --------------------------------------------------------------- *)

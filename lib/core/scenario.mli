@@ -31,8 +31,11 @@ val invariants : ?safety_only:bool -> t -> (string * (Model.sys -> bool)) list
 (** The invariant catalogue instantiated for the scenario's configuration,
     as (name, predicate) pairs for the checker. *)
 
+(** [jobs] worker domains (default 1 = the sequential checker, bit for
+    bit; see {!Check.Par_explore.run} / {!Check.Random_walk.swarm}). *)
 val explore :
   ?max_states:int ->
+  ?jobs:int ->
   ?safety_only:bool ->
   ?obs:Obs.Reporter.t ->
   t ->
@@ -41,6 +44,7 @@ val explore :
 val random_walk :
   ?seed:int ->
   ?steps:int ->
+  ?jobs:int ->
   ?safety_only:bool ->
   ?obs:Obs.Reporter.t ->
   t ->

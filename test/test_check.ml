@@ -117,6 +117,136 @@ let test_fingerprints () =
       (Check.Fingerprint.equal fp0 (Check.Fingerprint.of_system sys1))
   | [] -> Alcotest.fail "diamond must step"
 
+(* Collision/determinism discipline for both the compact structural hash
+   and the retained polymorphic one: distinct small systems must get
+   distinct fingerprints, and recomputing from a freshly built equal
+   system must reproduce them exactly. *)
+let test_fingerprint_hashes_distinct_and_stable () =
+  (* vary data only *)
+  let data_sys v : (int, int, int) System.t =
+    System.make [| "p" |] [| proc (Com.Local_op ("x", fun s -> [ s ])) v |]
+  in
+  (* vary control only (the label spine) *)
+  let control_sys l : (int, int, int) System.t =
+    System.make [| "p" |] [| proc (Com.Local_op (l, fun s -> [ s ])) 0 |]
+  in
+  let fps =
+    List.init 128 (fun v -> Check.Fingerprint.of_system (data_sys v))
+    @ List.init 128 (fun i -> Check.Fingerprint.of_system (control_sys ("l" ^ string_of_int i)))
+  in
+  let distinct l = List.length (List.sort_uniq compare l) = List.length l in
+  Alcotest.(check bool) "new hash: 256 distinct systems, 256 distinct fingerprints" true
+    (distinct (List.map Check.Fingerprint.fp64 fps));
+  Alcotest.(check bool) "old hash: distinct on the same family" true
+    (distinct (List.map Check.Fingerprint.hash_poly fps));
+  Alcotest.(check bool) "fp64 is never zero" true
+    (List.for_all (fun fp -> Check.Fingerprint.fp64 fp <> 0L) fps);
+  (* stability: a rebuilt equal system reproduces both hashes *)
+  List.iteri
+    (fun v fp ->
+      let fp' = Check.Fingerprint.of_system (data_sys v) in
+      Alcotest.(check int64) "fp64 stable across rebuilds" (Check.Fingerprint.fp64 fp)
+        (Check.Fingerprint.fp64 fp');
+      Alcotest.(check int) "hash_poly stable across rebuilds" (Check.Fingerprint.hash_poly fp)
+        (Check.Fingerprint.hash_poly fp');
+      Alcotest.(check int) "hash stable across rebuilds" (Check.Fingerprint.hash fp)
+        (Check.Fingerprint.hash fp'))
+    (List.filteri (fun i _ -> i < 128) fps)
+
+(* -- the parallel explorer ------------------------------------------------- *)
+
+(* A bounded branching counter: wide enough to exercise multi-state
+   levels, and it closes, so parallel and sequential outcomes must agree
+   on every count. *)
+let bounded_counter () : (int, int, int) System.t =
+  let p : com =
+    Com.While (("w" : Cimp.Label.t), (fun s -> s < 40), Com.Local_op ("step", fun s -> [ s + 1; s + 2 ]))
+  in
+  System.make [| "p" |] [| proc p 0 |]
+
+let test_par_matches_seq_counts () =
+  let seq = Check.Explore.run ~normal_form:false ~invariants:[] (bounded_counter ()) in
+  let par = Check.Par_explore.run ~jobs:4 ~normal_form:false ~invariants:[] (bounded_counter ()) in
+  Alcotest.(check int) "states" seq.Check.Explore.states par.Check.Explore.states;
+  Alcotest.(check int) "transitions" seq.Check.Explore.transitions par.Check.Explore.transitions;
+  Alcotest.(check int) "depth" seq.Check.Explore.depth par.Check.Explore.depth;
+  Alcotest.(check int) "deadlocks" seq.Check.Explore.deadlocks par.Check.Explore.deadlocks;
+  Alcotest.(check bool) "closed" false par.Check.Explore.truncated;
+  Alcotest.(check bool) "no violation" true (par.Check.Explore.violation = None)
+
+let test_par_matches_seq_gc_scenario () =
+  (* a real GC-model instance: wide frontiers (hundreds of states per
+     level) actually fan out across domains and through the sharded
+     seen-set; every count and the verdict must match the sequential
+     explorer *)
+  let sc = Core.Scenario.make ~label:"par-eq" ~n_refs:2 ~shape:"single" ~max_mut_ops:1 () in
+  let seq = Core.Scenario.explore sc in
+  let par = Core.Scenario.explore ~jobs:4 sc in
+  Alcotest.(check int) "states" seq.Check.Explore.states par.Check.Explore.states;
+  Alcotest.(check int) "transitions" seq.Check.Explore.transitions par.Check.Explore.transitions;
+  Alcotest.(check int) "depth" seq.Check.Explore.depth par.Check.Explore.depth;
+  Alcotest.(check int) "deadlocks" seq.Check.Explore.deadlocks par.Check.Explore.deadlocks;
+  Alcotest.(check bool) "verdict" (seq.Check.Explore.violation = None)
+    (par.Check.Explore.violation = None)
+
+let test_par_violation_same_name_and_length () =
+  (* seeded violations: --jobs 1 and --jobs 4 must report the same
+     invariant and a shortest trace of the same length, at depth 1 and at
+     depth 3 *)
+  let sys () : (int, int, int) System.t =
+    let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 3 ])) in
+    System.make [| "p" |] [| proc p 0 |]
+  in
+  let check_both name pred expected_len =
+    let seq = Check.Explore.run ~invariants:[ (name, pred) ] (sys ()) in
+    let par = Check.Par_explore.run ~jobs:4 ~invariants:[ (name, pred) ] (sys ()) in
+    match (seq.Check.Explore.violation, par.Check.Explore.violation) with
+    | Some str, Some ptr ->
+      Alcotest.(check string) "same invariant (seq)" name str.Check.Trace.broken;
+      Alcotest.(check string) "same invariant (par)" name ptr.Check.Trace.broken;
+      Alcotest.(check int) "seq trace is shortest" expected_len (Check.Trace.length str);
+      Alcotest.(check int) "par trace has the same length" expected_len (Check.Trace.length ptr)
+    | _ -> Alcotest.fail "both explorers must find the violation"
+  in
+  check_both "not-three" (fun sys -> (System.proc sys 0).Com.data <> 3) 1;
+  check_both "not-five" (fun sys -> (System.proc sys 0).Com.data <> 5) 3
+
+let test_par_coverage_matches_seq () =
+  let sc = Core.Scenario.make ~label:"par-cov" ~n_refs:2 ~shape:"single" ~max_mut_ops:1 () in
+  let run jobs =
+    (Check.Par_explore.run ~jobs ~track_coverage:true ~invariants:[]
+       (Core.Scenario.model sc).Core.Model.system)
+      .Check.Explore.covered
+  in
+  Alcotest.(check int) "same covered set, same order" 0 (compare (run 1) (run 4))
+
+(* -- the random-walk swarm -------------------------------------------------- *)
+
+let test_swarm_finds_violation () =
+  let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 2 ])) in
+  let sys = System.make [| "p" |] [| proc p 0 |] in
+  let o =
+    Check.Random_walk.swarm ~jobs:3 ~steps:3_000
+      ~invariants:[ ("below-20", fun sys -> (System.proc sys 0).Com.data < 20) ]
+      sys
+  in
+  match o.Check.Random_walk.violation with
+  | Some tr ->
+    Alcotest.(check bool) "final state is the offender" true
+      ((System.proc (Check.Trace.final tr) 0).Com.data >= 20)
+  | None -> Alcotest.fail "swarm must trip the bound"
+
+let test_swarm_deterministic_totals () =
+  (* without a violation every domain consumes exactly its budget share,
+     so aggregate counters are deterministic in (seed, jobs) *)
+  let p : com = Com.Loop (Com.Local_op ("step", fun s -> [ s + 1; s + 2 ])) in
+  let sys () = System.make [| "p" |] [| proc p 0 |] in
+  let run () = Check.Random_walk.swarm ~jobs:3 ~seed:7 ~steps:100 ~invariants:[] (sys ()) in
+  let a = run () and b = run () in
+  Alcotest.(check int) "all 100 steps taken" 100 a.Check.Random_walk.steps_taken;
+  Alcotest.(check int) "same total steps" a.Check.Random_walk.steps_taken b.Check.Random_walk.steps_taken;
+  Alcotest.(check int) "same total runs" a.Check.Random_walk.runs b.Check.Random_walk.runs
+
 (* qcheck: exploration of a random branching counter visits exactly the
    values representable as ordered sums of the branch increments, and the
    state count equals the number of distinct reachable values (+ control). *)
@@ -141,5 +271,16 @@ let suite =
     Alcotest.test_case "random walks find violations" `Quick test_random_walk_finds_violation;
     Alcotest.test_case "walks are seed-deterministic" `Quick test_random_walk_deterministic_seed;
     Alcotest.test_case "fingerprint discipline" `Quick test_fingerprints;
+    Alcotest.test_case "fingerprint hashes: distinct and stable" `Quick
+      test_fingerprint_hashes_distinct_and_stable;
+    Alcotest.test_case "par explorer matches sequential counts" `Quick test_par_matches_seq_counts;
+    Alcotest.test_case "par explorer matches sequential on a GC instance" `Quick
+      test_par_matches_seq_gc_scenario;
+    Alcotest.test_case "par violation: same invariant, same shortest length" `Quick
+      test_par_violation_same_name_and_length;
+    Alcotest.test_case "par coverage matches sequential" `Quick test_par_coverage_matches_seq;
+    Alcotest.test_case "swarm finds violations" `Quick test_swarm_finds_violation;
+    Alcotest.test_case "swarm totals are (seed, jobs)-deterministic" `Quick
+      test_swarm_deterministic_totals;
     QCheck_alcotest.to_alcotest prop_explore_counts_reachable_values;
   ]
