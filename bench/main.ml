@@ -267,22 +267,66 @@ let checker_par () =
       ("rows", Obs.Json.List rows);
     ]
 
+(* -- checker-reduce: state-space reduction ----------------------------------
+
+   Distinct states and wall-clock for each reduction mode on closing
+   scenarios.  The "states" column is the subsystem's whole point (how
+   much of the space the reducers collapse); states/sec shows what the
+   canonicalization costs per visited state.  Same rows under
+   "checker_reduce" in the report. *)
+
+let checker_reduce () =
+  let scenario sc =
+    let rows =
+      List.map
+        (fun mode ->
+          let o = Core.Scenario.explore ~max_states:5_000_000 ~reduce:mode sc in
+          let rate =
+            if o.Check.Explore.elapsed > 0. then
+              float_of_int o.Check.Explore.states /. o.Check.Explore.elapsed
+            else 0.
+          in
+          Fmt.pr "  %-44s %10d states %8.2f s  %10.0f states/s@."
+            (Fmt.str "checker-reduce-%s (%s)" (Reduce.Mode.to_string mode) sc.Core.Scenario.label)
+            o.Check.Explore.states o.Check.Explore.elapsed rate;
+          if o.Check.Explore.violation <> None || o.Check.Explore.truncated then
+            Fmt.pr "  WARNING: reduce=%s on %s did not close clean@."
+              (Reduce.Mode.to_string mode) sc.Core.Scenario.label;
+          Obs.Json.Obj
+            [
+              ("reduce", Obs.Json.String (Reduce.Mode.to_string mode));
+              ("states", Obs.Json.Int o.Check.Explore.states);
+              ("transitions", Obs.Json.Int o.Check.Explore.transitions);
+              ("elapsed_s", Obs.Json.Float o.Check.Explore.elapsed);
+              ("states_per_sec", Obs.Json.Float rate);
+            ])
+        Reduce.Mode.all_modes
+    in
+    Obs.Json.Obj
+      [
+        ("scenario", Obs.Json.String sc.Core.Scenario.label);
+        ("rows", Obs.Json.List rows);
+      ]
+  in
+  Obs.Json.List [ scenario Core.Scenario.baseline; scenario Core.Scenario.two_mutators ]
+
 (* The machine-readable report: one record per Bechamel group, the checker
-   throughput block, and the checker-par scaling block.  Written next to
-   the text output so perf PRs can diff BENCH_*.json across revisions.
-   The path is a CLI flag (-o FILE) so revisions can write side by side. *)
-let bench_report_file = ref "BENCH_2.json"
+   throughput block, and the checker-par / checker-reduce blocks.  Written
+   next to the text output so perf PRs can diff BENCH_*.json across
+   revisions.  The path is a CLI flag (-o FILE) so revisions can write
+   side by side. *)
+let bench_report_file = ref "BENCH_3.json"
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_2.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_3.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     "bench [-o FILE]"
 
-let write_report groups checker checker_par =
+let write_report groups checker checker_par checker_reduce =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -309,6 +353,7 @@ let write_report groups checker checker_par =
         ("groups", Obs.Json.List (List.map group_record groups));
         ("checker", checker);
         ("checker_par", checker_par);
+        ("checker_reduce", checker_reduce);
       ]
   in
   let oc = open_out !bench_report_file in
@@ -339,5 +384,7 @@ let () =
   Fmt.pr "=== checker-par (speedup vs domains, %d recommended) ===@."
     (Domain.recommended_domain_count ());
   let checker_par = checker_par () in
-  write_report groups checker checker_par;
+  Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
+  let checker_reduce = checker_reduce () in
+  write_report groups checker checker_par checker_reduce;
   Fmt.pr "done.@."

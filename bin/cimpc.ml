@@ -57,6 +57,12 @@ let obs_term =
   in
   Term.(term_result' (const resolve $ spec))
 
+let reduce_term =
+  let doc = "State-space reduction: none, sym, por or all (surface programs support none only)." in
+  let env = Cmd.Env.info "RELAXING_REDUCE" ~doc:"Default reduction mode." in
+  let spec = Arg.(value & opt string "none" & info [ "reduce" ] ~env ~docv:"MODE" ~doc) in
+  Term.(term_result' (const Reduce.Mode.of_string $ spec))
+
 let run_cmd =
   let max_states =
     Arg.(value & opt int 1_000_000 & info [ "max-states" ] ~doc:"State cap.")
@@ -68,8 +74,17 @@ let run_cmd =
       & info [ "jobs"; "j" ]
           ~doc:"Worker domains (1 = sequential; higher runs the parallel BFS).")
   in
-  let run src max_states jobs obs =
+  let run src max_states jobs reduce obs =
     let sys = Cimp_lang.Compile.of_source src in
+    (* Surface-language systems carry no reduction spec (no symmetry
+       classes, and user-chosen labels could collide with the POR
+       policy's "...fence" convention), so anything but none degrades
+       to unreduced checking — loudly, not silently. *)
+    (match reduce with
+    | Reduce.Mode.None_ -> ()
+    | m ->
+      Fmt.epr "warning: --reduce=%a is not available for surface programs; running unreduced@."
+        Reduce.Mode.pp m);
     let o =
       Check.Par_explore.run ~jobs ~max_states ~obs
         ~invariants:[ ("assertions", Cimp_lang.Compile.assertions_hold) ]
@@ -85,7 +100,7 @@ let run_cmd =
     | None -> Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "run" ~doc:"Explore the compiled system, checking asserts.")
-    Term.(const run $ source_term $ max_states $ jobs $ obs_term)
+    Term.(const run $ source_term $ max_states $ jobs $ reduce_term $ obs_term)
 
 let examples_cmd =
   let run () =

@@ -71,6 +71,17 @@ let obs_term =
   in
   Term.(term_result' (const resolve $ spec))
 
+(* --reduce / RELAXING_REDUCE.  The default differs per subcommand
+   (explore: all — the reductions are proven-sound and the point of
+   exhaustive closure is reach; walk: none — reduced walks sample a
+   different schedule distribution per seed), so the parsed default
+   string is a parameter. *)
+let reduce_term ~default =
+  let doc = Fmt.str "State-space reduction: none, sym, por or all (default %s)." default in
+  let env = Cmd.Env.info "RELAXING_REDUCE" ~doc:"Default reduction mode." in
+  let spec = Arg.(value & opt string default & info [ "reduce" ] ~env ~docv:"MODE" ~doc) in
+  Term.(term_result' (const Reduce.Mode.of_string $ spec))
+
 let safety_only =
   Arg.(value & flag & info [ "safety-only" ] ~doc:"Check only the safety invariants.")
 
@@ -106,33 +117,37 @@ let report cfg obs (violation : _ Check.Trace.t option) =
     Obs.Reporter.emit obs "violation" [ ("trace", Check.Trace.to_json tr) ]
 
 let explore_cmd =
-  let run cv shape safety_only max_states jobs obs =
+  let run cv shape safety_only max_states jobs reduce obs =
     let cfg, v = cv in
     let model = model_of cv shape in
-    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d@."
+    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d reduce=%a@."
       v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
-      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs;
+      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs Reduce.Mode.pp reduce;
+    let reducer = Core.Reduction.reducer cfg reduce in
     let o =
-      Check.Par_explore.run ~jobs ~max_states ~obs ~invariants:(invariants_of cfg safety_only)
-        model.Core.Model.system
+      Check.Par_explore.run ~jobs ~max_states ~obs ?reducer
+        ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
     report cfg obs o.Check.Explore.violation;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs $ obs_term)
+    Term.(
+      const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
+      $ reduce_term ~default:"all" $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run cv shape safety_only steps seed jobs obs =
+  let run cv shape safety_only steps seed jobs reduce obs =
     let cfg, v = cv in
     let model = model_of cv shape in
-    Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d jobs=%d@." v.Core.Variants.name
-      shape steps seed jobs;
+    Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d jobs=%d reduce=%a@."
+      v.Core.Variants.name shape steps seed jobs Reduce.Mode.pp reduce;
+    let reducer = Core.Reduction.reducer cfg reduce in
     let o =
-      Check.Random_walk.swarm ~jobs ~seed ~steps ~obs
+      Check.Random_walk.swarm ~jobs ~seed ~steps ~obs ?reducer
         ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
@@ -140,7 +155,42 @@ let walk_cmd =
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
-    Term.(const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ jobs $ obs_term)
+    Term.(
+      const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ jobs
+      $ reduce_term ~default:"none" $ obs_term)
+
+let crosscheck_cmd =
+  let run cv shape safety_only max_states reduce obs =
+    let cfg, v = cv in
+    let model = model_of cv shape in
+    (match reduce with
+    | Reduce.Mode.None_ -> Fmt.failwith "crosscheck needs --reduce=sym|por|all, not none"
+    | _ -> ());
+    Fmt.pr "cross-checking variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d reduce=%a@."
+      v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
+      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops Reduce.Mode.pp reduce;
+    let reducer = Option.get (Core.Reduction.reducer cfg reduce) in
+    let r =
+      Reduce.Crosscheck.run ~max_states ~obs ~reducer
+        ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+    in
+    Fmt.pr "%a@." Reduce.Crosscheck.pp r;
+    Obs.Reporter.close obs;
+    match Reduce.Crosscheck.errors r with
+    | [] -> Fmt.pr "cross-check OK@."
+    | errs ->
+      List.iter (Fmt.epr "cross-check FAILED: %s@.") errs;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "crosscheck"
+       ~doc:
+         "Run reduced and unreduced exploration on the same instance and verify they agree \
+          (verdict, violated invariant, counterexample length, reduced <= full states). \
+          Exits 1 on mismatch.")
+    Term.(
+      const run $ cfg_term $ shape_term $ safety_only $ max_states
+      $ reduce_term ~default:"all" $ obs_term)
 
 let variants_cmd =
   let run () =
@@ -201,4 +251,5 @@ let () =
   let info = Cmd.info "gcmodel" ~doc:"Executable model of the verified on-the-fly GC for x86-TSO." in
   exit
     (Cmd.eval
-       (Cmd.group info [ explore_cmd; walk_cmd; variants_cmd; shapes_cmd; dump_cmd; program_cmd ]))
+       (Cmd.group info
+          [ explore_cmd; walk_cmd; crosscheck_cmd; variants_cmd; shapes_cmd; dump_cmd; program_cmd ]))

@@ -63,8 +63,9 @@ let coverage_gaps sys ~covered =
    eagerly, so invariants are evaluated at atomic-action boundaries only.
    This is the evaluation-context atomicity coarsening of Section 3. *)
 let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
-    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants initial =
+    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+  let fp_of sys = Reducer.fp_of reducer sys in
   let initial = norm initial in
   let coverage = Hashtbl.create (if track_coverage then 512 else 1) in
   let record_event ev =
@@ -144,7 +145,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
             (fun (e, s') ->
               if e = ev then
                 let s' = norm s' in
-                if Fingerprint.equal (Fingerprint.of_system s') fp' then Some s' else None
+                if Fingerprint.equal (fp_of s') fp' then Some s' else None
               else None)
             (Cimp.System.steps sys)
         in
@@ -155,7 +156,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     { Trace.initial; steps = replay initial chain []; broken }
   in
   let enqueue ~from_fp ~event ~d sys =
-    let fp = Fingerprint.of_system sys in
+    let fp = fp_of sys in
     if not (Fingerprint.Table.mem seen fp) then begin
       Fingerprint.Table.add seen fp ();
       (match (from_fp, event) with
@@ -191,7 +192,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   in
   while not (Queue.is_empty q) && !violation = None && not !truncated do
     let fp, sys, d = Queue.pop q in
-    let succs = Cimp.System.steps sys in
+    let succs = Reducer.succs_of reducer sys in
     if succs = [] then incr deadlocks;
     expand fp d succs;
     heartbeat ()
@@ -199,6 +200,8 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   let elapsed = Unix.gettimeofday () -. t0 in
   let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
   iv.Inv_stats.report obs ~first_violation;
+  Reducer.report obs ~checker:"explore" reducer ~states:!states ~transitions:!transitions
+    ~elapsed;
   if Obs.Reporter.enabled obs then
     Obs.Reporter.emit obs "outcome"
       [

@@ -52,13 +52,23 @@ val coverage_gaps :
            GC words) every [heartbeat_every] states, one [invariant]
            record per invariant (eval count, cumulative seconds,
            first-violation attribution) and a final [outcome] record.
-    @param heartbeat_every states between heartbeats (default 20,000). *)
+    @param heartbeat_every states between heartbeats (default 20,000).
+    @param reducer optional state-space reduction hook ({!Reducer.t}):
+           its fingerprint replaces {!Fingerprint.of_system} for seen-set
+           dedup and counterexample replay matching, and its successor
+           function replaces {!Cimp.System.steps} for expansion.  Absent,
+           behaviour is bit-for-bit the unreduced checker.  When present
+           and [obs] is enabled, a [reduction] record is emitted next to
+           the [outcome] record.  Note reduction may lengthen the
+           "shortest" counterexample (partial-order reduction removes
+           interleavings, symmetry merges orbits). *)
 val run :
   ?max_states:int ->
   ?normal_form:bool ->
   ?track_coverage:bool ->
   ?obs:Obs.Reporter.t ->
   ?heartbeat_every:int ->
+  ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

@@ -64,12 +64,7 @@ let rec mix_obj h (o : Stdlib.Obj.t) =
 (* The data payloads are stashed as Obj.t to keep this module polymorphic in
    the system's state type; they are only ever consumed by the structural
    walk above and the polymorphic [compare], never re-projected. *)
-let of_system (sys : ('a, 'v, 's) Cimp.System.t) : t =
-  let n = Cimp.System.n_procs sys in
-  let control = Cimp.System.control_fingerprint sys in
-  let data =
-    List.init n (fun p -> Stdlib.Obj.repr (Cimp.System.proc sys p).Cimp.Com.data)
-  in
+let of_parts ~control ~data : t =
   let h =
     List.fold_left (fun h spine -> List.fold_left mix_string (mix h 13) spine)
       0xcbf29ce484222 control
@@ -78,6 +73,14 @@ let of_system (sys : ('a, 'v, 's) Cimp.System.t) : t =
   (* 0 is the parallel seen-set's empty-slot sentinel *)
   let h = if h = 0 then 1 else h in
   { fp = h; control; data }
+
+let of_system (sys : ('a, 'v, 's) Cimp.System.t) : t =
+  let n = Cimp.System.n_procs sys in
+  let control = Cimp.System.control_fingerprint sys in
+  let data =
+    List.init n (fun p -> Stdlib.Obj.repr (Cimp.System.proc sys p).Cimp.Com.data)
+  in
+  of_parts ~control ~data
 
 (* Structural equality, with the cached fingerprint as a cheap negative
    filter (equal structures always have equal fingerprints). *)

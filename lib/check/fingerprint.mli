@@ -16,6 +16,15 @@ type t
 
 val of_system : ('a, 'v, 's) Cimp.System.t -> t
 
+(** [of_parts ~control ~data] fingerprints an explicitly assembled
+    (control-spine, data-payload) pair with the exact mix {!of_system}
+    uses.  This is the hook state-space reducers use to fingerprint a
+    *canonical representative* (e.g. with symmetric processes sorted or
+    dead registers nulled) without materialising an executable system:
+    the [data] payloads must satisfy the same canonical-plain-data
+    contract as process data states. *)
+val of_parts : control:Cimp.Label.t list list -> data:Stdlib.Obj.t list -> t
+
 (** Structural equality (the cached hash is used as a cheap negative
     filter first). *)
 val equal : t -> t -> bool

@@ -200,15 +200,16 @@ end
 let max_jobs = 64
 
 let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
-    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ~invariants initial =
+    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
   let jobs = max 1 (min jobs max_jobs) in
   if jobs = 1 then
     (* the sequential explorer is the jobs=1 semantics, bit for bit *)
-    Explore.run ~max_states ~normal_form ~track_coverage ~obs ~heartbeat_every ~invariants
-      initial
+    Explore.run ~max_states ~normal_form ~track_coverage ~obs ~heartbeat_every ?reducer
+      ~invariants initial
   else begin
     let t0 = Unix.gettimeofday () in
     let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+    let fp_of sys = Reducer.fp_of reducer sys in
     let initial = norm initial in
     let label_ids, labels = intern_labels initial in
     let seen = Seen.create () in
@@ -252,7 +253,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
               (fun (e, s') ->
                 if e = ev then
                   let s' = norm s' in
-                  if Fingerprint.hash (Fingerprint.of_system s') = fp' then Some s' else None
+                  if Fingerprint.hash (fp_of s') = fp' then Some s' else None
                 else None)
               (Cimp.System.steps sys)
           in
@@ -275,7 +276,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       let hb_time = ref (Unix.gettimeofday ()) in
       for i = lo to hi - 1 do
         let fp, sys = frontier.(i) in
-        let succs = Cimp.System.steps sys in
+        let succs = Reducer.succs_of reducer sys in
         if succs = [] then Atomic.incr deadlocks;
         List.iter
           (fun (event, sys') ->
@@ -283,7 +284,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
               Atomic.incr transitions;
               record_event w event;
               let sys' = norm sys' in
-              let fp' = Fingerprint.hash (Fingerprint.of_system sys') in
+              let fp' = Fingerprint.hash (fp_of sys') in
               if Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event) then begin
                 let n = Atomic.fetch_and_add states 1 + 1 in
                 if n >= max_states then Atomic.set truncated true;
@@ -320,7 +321,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       (!next, !viols)
     in
     (* root *)
-    let fp0 = Fingerprint.hash (Fingerprint.of_system initial) in
+    let fp0 = Fingerprint.hash (fp_of initial) in
     ignore (Seen.add seen fp0 ~parent:0 ~event:0);
     Atomic.set states 1;
     (match ivs.(0).Inv_stats.check initial with
@@ -369,6 +370,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     Array.iter (fun iv -> iv.Inv_stats.report obs ~first_violation) ivs;
     let states = Atomic.get states in
     let transitions = Atomic.get transitions in
+    Reducer.report obs ~checker:"par-explore" reducer ~states ~transitions ~elapsed;
     let deadlocks = Atomic.get deadlocks in
     let truncated = Atomic.get truncated in
     if Obs.Reporter.enabled obs then begin

@@ -42,6 +42,7 @@ val run :
   ?track_coverage:bool ->
   ?obs:Obs.Reporter.t ->
   ?heartbeat_every:int ->
+  ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

@@ -19,7 +19,7 @@ let pp_outcome ppf o =
 
 let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form = true)
     ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000)
-    ?(should_stop = fun () -> false) ?domain ~invariants initial =
+    ?(should_stop = fun () -> false) ?domain ?reducer ~invariants initial =
   let domain_field = match domain with None -> [] | Some d -> [ ("domain", Obs.Json.Int d) ] in
   let trace_tail = max 1 trace_tail in
   let t0 = Unix.gettimeofday () in
@@ -73,7 +73,7 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
       !continue && !violation = None && !taken < steps && !len < max_run_length
       && not (should_stop ())
     do
-      match Cimp.System.steps !sys with
+      match Reducer.succs_of reducer !sys with
       | [] ->
         (* dead end; restart *)
         incr restarts;
@@ -101,6 +101,8 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
   let elapsed = Unix.gettimeofday () -. t0 in
   let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
   iv.Inv_stats.report obs ~first_violation;
+  (* the walk has no seen-set, so "states" is the steps taken *)
+  Reducer.report obs ~checker:"walk" reducer ~states:!taken ~transitions:!taken ~elapsed;
   if Obs.Reporter.enabled obs then
     Obs.Reporter.emit obs "outcome"
       (("checker", Obs.Json.String "walk")
@@ -133,11 +135,11 @@ let derive_seed seed k = seed lxor ((k + 1) * 0x9E3779B1)
 
 let swarm ?(jobs = 1) ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000)
     ?(normal_form = true) ?(trace_tail = 1000) ?(obs = Obs.Reporter.null)
-    ?(heartbeat_every = 20_000) ~invariants initial =
+    ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
   let jobs = max 1 (min jobs 64) in
   if jobs = 1 then
-    run ~seed ~steps ~max_run_length ~normal_form ~trace_tail ~obs ~heartbeat_every ~invariants
-      initial
+    run ~seed ~steps ~max_run_length ~normal_form ~trace_tail ~obs ~heartbeat_every ?reducer
+      ~invariants initial
   else begin
     let t0 = Unix.gettimeofday () in
     let registry = Obs.Metrics.create_registry () in
@@ -152,7 +154,8 @@ let swarm ?(jobs = 1) ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000)
     let worker k () =
       let o =
         run ~seed:(derive_seed seed k) ~steps:(budget k) ~max_run_length ~normal_form
-          ~trace_tail ~obs ~heartbeat_every ~should_stop ~domain:k ~invariants initial
+          ~trace_tail ~obs ~heartbeat_every ~should_stop ~domain:k ?reducer ~invariants
+          initial
       in
       Obs.Metrics.aadd m_steps o.steps_taken;
       Obs.Metrics.aadd m_runs o.runs;

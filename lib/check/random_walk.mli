@@ -31,7 +31,12 @@ val pp_outcome : ('a, 'v, 's) outcome Fmt.t
     @param should_stop polled every step; the walk returns early when it
            turns true (cooperative cancellation for {!swarm}).
     @param domain tag emitted as a [domain] field on this walk's
-           heartbeat/outcome records (set by {!swarm}). *)
+           heartbeat/outcome records (set by {!swarm}).
+    @param reducer optional {!Reducer.t}: its successor function replaces
+           {!Cimp.System.steps} (the walk has no seen-set, so the
+           reducer's fingerprint is unused).  Note a partial-order-reduced
+           walk samples schedules from the reduced transition system, so
+           per-seed step sequences differ from unreduced runs. *)
 val run :
   ?seed:int ->
   ?steps:int ->
@@ -42,6 +47,7 @@ val run :
   ?heartbeat_every:int ->
   ?should_stop:(unit -> bool) ->
   ?domain:int ->
+  ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome
@@ -65,6 +71,7 @@ val swarm :
   ?trace_tail:int ->
   ?obs:Obs.Reporter.t ->
   ?heartbeat_every:int ->
+  ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

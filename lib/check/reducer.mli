@@ -1,0 +1,51 @@
+(** State-space reduction hook for the checkers.
+
+    A reducer overrides the two operations reduction can soundly
+    intercept: the fingerprint used for seen-set dedup (symmetry /
+    liveness canonicalization — the checker still explores the concrete
+    states it reaches, so invariants see real states) and the successor
+    function (a partial-order-reduction ample set, a subset of
+    {!Cimp.System.steps} that must be empty only when the full set is).
+
+    With no reducer the checkers behave bit-for-bit as before.  Concrete
+    reducers live in [lib/reduce] (generic machinery) and [lib/core]
+    (the GC model's symmetry/liveness specification); canonicalizing
+    reducers are typically only sound under normal-form exploration (the
+    checkers' default). *)
+
+type ('a, 'v, 's) t = {
+  name : string;
+  fingerprint : ('a, 'v, 's) Cimp.System.t -> Fingerprint.t;
+  successors :
+    ('a, 'v, 's) Cimp.System.t -> (Cimp.System.event * ('a, 'v, 's) Cimp.System.t) list;
+  sym_permuted : int Atomic.t;
+      (** states whose canonical pid order differed from the concrete one *)
+  reg_nulled : int Atomic.t;  (** states with at least one dead register nulled *)
+  deferred : int Atomic.t;  (** transitions pruned by the ample-set selector *)
+}
+
+(** [fp_of reducer sys]: the reducer's fingerprint, or
+    {!Fingerprint.of_system} when [reducer] is [None]. *)
+val fp_of : ('a, 'v, 's) t option -> ('a, 'v, 's) Cimp.System.t -> Fingerprint.t
+
+(** [succs_of reducer sys]: the reducer's successors, or
+    {!Cimp.System.steps} when [reducer] is [None]. *)
+val succs_of :
+  ('a, 'v, 's) t option ->
+  ('a, 'v, 's) Cimp.System.t ->
+  (Cimp.System.event * ('a, 'v, 's) Cimp.System.t) list
+
+(** The reducer's name, or ["none"]. *)
+val name_of : ('a, 'v, 's) t option -> string
+
+(** Emit the "reduction" JSONL record (checker, reduce, states,
+    transitions, sym_permuted, reg_nulled, deferred_transitions,
+    elapsed_s).  No-op when [reducer] is [None] or the sink is null. *)
+val report :
+  Obs.Reporter.t ->
+  checker:string ->
+  ('a, 'v, 's) t option ->
+  states:int ->
+  transitions:int ->
+  elapsed:float ->
+  unit

@@ -19,6 +19,22 @@ type event =
   | Tau of pid * Label.t
   | Rendezvous of { requester : pid; req_label : Label.t; responder : pid; resp_label : Label.t }
 
+(* The process that initiated an event: the stepping process for a tau,
+   the requester for a rendezvous.  The owner is the only process whose
+   *program* advances past a choice point — responders are reactive. *)
+let event_owner = function
+  | Tau (p, _) -> p
+  | Rendezvous { requester; _ } -> requester
+
+(* Every process whose configuration a step may change: the stepping
+   process for a tau, both parties of a rendezvous.  This is the write
+   footprint at the granularity of process configurations, which (with
+   per-process data isolation) is what the independence relation of
+   partial-order reduction needs. *)
+let event_pids = function
+  | Tau (p, _) -> [ p ]
+  | Rendezvous { requester; responder; _ } -> [ requester; responder ]
+
 let pp_event names ppf = function
   | Tau (p, l) -> Fmt.pf ppf "%s: %s" names.(p) l
   | Rendezvous { requester; req_label; responder; resp_label } ->

@@ -15,6 +15,16 @@ type event =
 
 val pp_event : string array -> event Fmt.t
 
+(** The process that initiated the event: the stepping process of a tau,
+    the requester of a rendezvous. *)
+val event_owner : event -> pid
+
+(** Every process whose configuration the event may have changed: [[p]]
+    for a tau of [p], [[requester; responder]] for a rendezvous.  The
+    write footprint at configuration granularity, used by partial-order
+    reduction's independence relation. *)
+val event_pids : event -> pid list
+
 (** [make names procs] composes the processes.
     @raise Invalid_argument if the arrays' lengths differ. *)
 val make : string array -> ('a, 'v, 's) Com.config array -> ('a, 'v, 's) t

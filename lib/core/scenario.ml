@@ -46,14 +46,30 @@ let invariants ?(safety_only = false) sc =
   List.map (fun i -> (i.Invariants.name, i.Invariants.check)) invs
 
 (* [jobs = 1] (the default) is the sequential checker, bit for bit:
-   Par_explore.run and Random_walk.swarm both delegate. *)
-let explore ?(max_states = 30_000_000) ?(jobs = 1) ?safety_only ?obs sc =
-  Check.Par_explore.run ~jobs ~max_states ?obs ~invariants:(invariants ?safety_only sc)
-    (model sc).Model.system
+   Par_explore.run and Random_walk.swarm both delegate.  [reduce]
+   defaults to None_ for the same reason — callers opt in — and is
+   applied identically on the sequential and [jobs > 1] paths (the same
+   Reduction.reducer value is threaded either way; its counters are
+   atomic, so domains can share it). *)
+let explore ?(max_states = 30_000_000) ?(jobs = 1) ?safety_only ?obs
+    ?(reduce = Reduce.Mode.None_) sc =
+  let reducer = Reduction.reducer sc.cfg reduce in
+  Check.Par_explore.run ~jobs ~max_states ?obs ?reducer
+    ~invariants:(invariants ?safety_only sc) (model sc).Model.system
 
-let random_walk ?(seed = 42) ?(steps = 50_000) ?(jobs = 1) ?safety_only ?obs sc =
-  Check.Random_walk.swarm ~jobs ~seed ~steps ?obs ~invariants:(invariants ?safety_only sc)
-    (model sc).Model.system
+let random_walk ?(seed = 42) ?(steps = 50_000) ?(jobs = 1) ?safety_only ?obs
+    ?(reduce = Reduce.Mode.None_) sc =
+  let reducer = Reduction.reducer sc.cfg reduce in
+  Check.Random_walk.swarm ~jobs ~seed ~steps ?obs ?reducer
+    ~invariants:(invariants ?safety_only sc) (model sc).Model.system
+
+(* Reduced-vs-unreduced soundness cross-check on one scenario. *)
+let crosscheck ?max_states ?safety_only ?obs ?(reduce = Reduce.Mode.All) sc =
+  match Reduction.reducer sc.cfg reduce with
+  | None -> invalid_arg "Scenario.crosscheck: reduce=none has nothing to cross-check"
+  | Some reducer ->
+    Reduce.Crosscheck.run ?max_states ?obs ~reducer ~invariants:(invariants ?safety_only sc)
+      (model sc).Model.system
 
 (* -- Presets --------------------------------------------------------------- *)
 
@@ -90,6 +106,13 @@ let chain =
 let deep_buffers =
   make ~label:"deep-buffers" ~n_refs:2 ~shape:"single" ~buf_bound:3 ~max_mut_ops:2
     ~note:"store buffers of capacity 3" ()
+
+(* Three racing mutators: beyond the seed checker's reach at the default
+   state cap, closed by the reduction subsystem (sym collapses up to 3!
+   pid permutations per state). *)
+let three_mutators =
+  make ~label:"three-mutators" ~n_muts:3 ~n_refs:2 ~shape:"single" ~max_mut_ops:1
+    ~note:"3 symmetric mutators share root 0; closes only under --reduce" ()
 
 (* Apply a variant to a scenario. *)
 let with_variant (v : Variants.t) sc =

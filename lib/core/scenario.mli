@@ -32,12 +32,19 @@ val invariants : ?safety_only:bool -> t -> (string * (Model.sys -> bool)) list
     as (name, predicate) pairs for the checker. *)
 
 (** [jobs] worker domains (default 1 = the sequential checker, bit for
-    bit; see {!Check.Par_explore.run} / {!Check.Random_walk.swarm}). *)
+    bit; see {!Check.Par_explore.run} / {!Check.Random_walk.swarm}).
+    [reduce] (default {!Reduce.Mode.None_}, i.e. the seed behaviour)
+    selects the state-space reduction; it is applied identically on the
+    sequential and [jobs > 1] paths.  The [bin/] tools default explore
+    to [all] — the library default stays [None_] so existing callers
+    and the differential tests get unreduced semantics unless they
+    opt in. *)
 val explore :
   ?max_states:int ->
   ?jobs:int ->
   ?safety_only:bool ->
   ?obs:Obs.Reporter.t ->
+  ?reduce:Reduce.Mode.t ->
   t ->
   (Types.msg, Types.value, State.t) Check.Explore.outcome
 
@@ -47,8 +54,20 @@ val random_walk :
   ?jobs:int ->
   ?safety_only:bool ->
   ?obs:Obs.Reporter.t ->
+  ?reduce:Reduce.Mode.t ->
   t ->
   (Types.msg, Types.value, State.t) Check.Random_walk.outcome
+
+(** Reduced-vs-unreduced soundness cross-check ({!Reduce.Crosscheck})
+    on one scenario.  [reduce] defaults to {!Reduce.Mode.All}.
+    @raise Invalid_argument on [reduce = None_]. *)
+val crosscheck :
+  ?max_states:int ->
+  ?safety_only:bool ->
+  ?obs:Obs.Reporter.t ->
+  ?reduce:Reduce.Mode.t ->
+  t ->
+  Reduce.Crosscheck.result
 
 (** {1 Presets} *)
 
@@ -58,6 +77,9 @@ val two_mutators : t
 val fig1 : t
 val chain : t
 val deep_buffers : t
+
+val three_mutators : t
+(** Beyond the seed checker at the default cap; closes under [--reduce]. *)
 
 val with_variant : Variants.t -> t -> t
 

@@ -1,0 +1,45 @@
+(* The independence relation partial-order reduction relies on, and an
+   execution-based oracle for validating instances of it.
+
+   CIMP systems have per-process data isolation: a transition reads and
+   writes only the configurations listed in [Cimp.System.event_pids]
+   (requester, plus responder for a rendezvous).  Two transitions whose
+   pid footprints are disjoint therefore commute *exactly* — executing
+   them in either order from the same state reaches the same state, and
+   neither enables nor disables the other.  This is stronger than the
+   usual syntactic approximations: there is no shared-variable aliasing
+   to approximate away, because all shared state lives in the Sys
+   process and is only touched through rendezvous that name Sys in their
+   footprint.
+
+   [commute_at] checks the diamond concretely on a given state by
+   running both orders and comparing the normalized result state sets;
+   the test suite uses it to validate the footprint rule and the POR
+   policy's deferrable transitions. *)
+
+let disjoint e1 e2 =
+  let ps = Cimp.System.event_pids e2 in
+  List.for_all (fun p -> not (List.mem p ps)) (Cimp.System.event_pids e1)
+
+(* Successor states reached from [sys] via exactly event [e].  An event
+   does not always determine one successor: a Local_op may offer several
+   under one label. *)
+let succs_via sys e =
+  List.filter_map (fun (e', s') -> if e' = e then Some s' else None) (Cimp.System.steps sys)
+
+(* Do [e1] and [e2] commute at [sys]?  Runs e1;e2 and e2;e1 (normalizing
+   intermediate and final states when [normal_form], as the explorer
+   does) and compares the final fingerprint sets.  Both orders must be
+   executable — an enabledness asymmetry means the pair does not
+   commute here. *)
+let commute_at ?(normal_form = true) sys e1 e2 =
+  let nrm s = if normal_form then Cimp.System.normalize s else s in
+  let after s e = List.map nrm (succs_via s e) in
+  let both first second =
+    List.concat_map
+      (fun s -> List.map (fun s' -> Check.Fingerprint.hash (Check.Fingerprint.of_system s')) (after s second))
+      (after sys first)
+    |> List.sort_uniq compare
+  in
+  let l12 = both e1 e2 in
+  l12 <> [] && l12 = both e2 e1

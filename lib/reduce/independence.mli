@@ -1,0 +1,28 @@
+(** The independence relation for partial-order reduction, plus an
+    execution-based oracle for validating it.
+
+    CIMP transitions touch only the process configurations in their
+    {!Cimp.System.event_pids} footprint, so disjoint-footprint
+    transitions commute exactly (same result state either order, no
+    enabling/disabling) — all shared state lives in the Sys process and
+    is only reached through rendezvous that put Sys in the footprint. *)
+
+(** [disjoint e1 e2]: the events' pid footprints do not intersect. *)
+val disjoint : Cimp.System.event -> Cimp.System.event -> bool
+
+(** Successor states of [sys] via exactly event [e] (a [Local_op] may
+    offer several under one label). *)
+val succs_via :
+  ('a, 'v, 's) Cimp.System.t -> Cimp.System.event -> ('a, 'v, 's) Cimp.System.t list
+
+(** [commute_at sys e1 e2]: executing [e1;e2] and [e2;e1] from [sys]
+    reaches the same (normalized, when [normal_form] — the default, as
+    in the explorer) set of states, and both orders are executable.
+    Used by tests to validate the footprint rule and POR's deferrable
+    transitions on concrete reachable states. *)
+val commute_at :
+  ?normal_form:bool ->
+  ('a, 'v, 's) Cimp.System.t ->
+  Cimp.System.event ->
+  Cimp.System.event ->
+  bool

@@ -1,0 +1,21 @@
+(* Which reducers are active.  The CLI surface of lib/reduce: every bin/
+   tool parses --reduce / RELAXING_REDUCE into this type. *)
+
+type t =
+  | None_  (* no reduction: checkers behave bit-for-bit as without a reducer *)
+  | Sym  (* mutator-symmetry + register-liveness canonical fingerprints *)
+  | Por  (* partial-order reduction: ample successor sets *)
+  | All  (* both *)
+
+let to_string = function None_ -> "none" | Sym -> "sym" | Por -> "por" | All -> "all"
+
+let of_string = function
+  | "none" -> Ok None_
+  | "sym" -> Ok Sym
+  | "por" -> Ok Por
+  | "all" -> Ok All
+  | s -> Error (Printf.sprintf "unknown reduction mode %S (expected none|sym|por|all)" s)
+
+let doc = "$(docv) is one of none, sym, por or all"
+let all_modes = [ None_; Sym; Por; All ]
+let pp ppf m = Fmt.string ppf (to_string m)

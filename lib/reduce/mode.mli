@@ -1,0 +1,20 @@
+(** Reduction modes, as selected by [--reduce] / [RELAXING_REDUCE]. *)
+
+type t =
+  | None_  (** no reduction: bit-for-bit the unreduced checker *)
+  | Sym  (** symmetry + register-liveness canonical fingerprints *)
+  | Por  (** partial-order reduction: ample successor sets *)
+  | All  (** both *)
+
+val to_string : t -> string
+
+(** Inverse of {!to_string}; [Error] carries a usage message. *)
+val of_string : string -> (t, string) result
+
+(** Cmdliner-style doc string for the flag. *)
+val doc : string
+
+(** All four modes, in [none; sym; por; all] order (bench sweeps). *)
+val all_modes : t list
+
+val pp : t Fmt.t

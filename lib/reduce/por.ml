@@ -1,0 +1,62 @@
+(* Partial-order reduction: ample successor sets.
+
+   The selector implements one deliberately conservative ample-set rule:
+   when some process's *entire* enabled set is a single transition the
+   policy marks deferrable (for the GC model: an mfence rendezvous,
+   enabled only once the owner's store buffer has drained), that
+   singleton is the ample set; every other enabled transition of the
+   state is deferred.  Otherwise the ample set is the full successor
+   set.
+
+   Why this satisfies the standard provisos (see DESIGN.md for the
+   model-level argument):
+
+   - C0 (emptiness): the singleton is nonempty, and we only reduce when
+     the full set is nonempty.
+   - C1 (persistence): a deferrable transition must commute with every
+     transition of every *other* process from any state where both are
+     enabled, and must stay enabled under them.  Since the owner has no
+     other transition here, no run can leave the ample set's
+     equivalence class before executing it.
+   - C2 (visibility): a deferrable transition (with the normalization
+     cascade behind it) must not change the truth of any invariant, so
+     postponing the other transitions past it cannot hide a violation.
+   - C3 (cycle): reduced ample chains cannot be infinite — here each
+     singleton strictly advances its owner's program past the fence, and
+     chains have length <= n_procs, so the proviso is trivial.
+
+   The policy (which transitions are deferrable) is the model-specific
+   part; lib/core supplies the GC model's. *)
+
+type policy = { deferrable : Cimp.System.event -> bool }
+
+module IntMap = Map.Make (Int)
+
+(* [ample policy succs] = (ample set, number of deferred transitions).
+   Takes the full successor list so callers can reuse it. *)
+let ample policy succs =
+  match succs with
+  | [] | [ _ ] -> (succs, 0)
+  | _ ->
+    let by_owner =
+      List.fold_left
+        (fun m ((e, _) as t) ->
+          let p = Cimp.System.event_owner e in
+          IntMap.update p (function None -> Some [ t ] | Some ts -> Some (t :: ts)) m)
+        IntMap.empty succs
+    in
+    (* smallest qualifying owner pid, for determinism *)
+    let rec pick = function
+      | [] -> None
+      | (_, [ ((e, _) as t) ]) :: rest -> if policy.deferrable e then Some t else pick rest
+      | _ :: rest -> pick rest
+    in
+    (match pick (IntMap.bindings by_owner) with
+    | Some t -> ([ t ], List.length succs - 1)
+    | None -> (succs, 0))
+
+(* The successor function for Check.Reducer, counting deferrals. *)
+let successors policy ~deferred sys =
+  let amp, pruned = ample policy (Cimp.System.steps sys) in
+  if pruned > 0 then ignore (Atomic.fetch_and_add deferred pruned);
+  amp

@@ -1,0 +1,30 @@
+(** Partial-order reduction: ample successor sets.
+
+    One conservative rule: when some process's entire enabled set is a
+    single transition the policy marks deferrable, that singleton is the
+    ample set (smallest such owner pid wins, for determinism); otherwise
+    the full successor set is used.  The policy must guarantee the
+    standard provisos for its deferrable transitions: independence from
+    every other process's transitions and persistence (C1), invisibility
+    to all invariants including the normalization cascade behind the
+    transition (C2); C0 and C3 hold by construction (singletons are
+    nonempty; each strictly advances its owner, so ample chains are
+    finite).  See the DESIGN.md "Reduction" section for the GC model's
+    argument. *)
+
+type policy = { deferrable : Cimp.System.event -> bool }
+
+(** [ample policy succs] = (ample set, deferred count), given the full
+    successor list of a state. *)
+val ample :
+  policy ->
+  (Cimp.System.event * ('a, 'v, 's) Cimp.System.t) list ->
+  (Cimp.System.event * ('a, 'v, 's) Cimp.System.t) list * int
+
+(** Successor function for {!Check.Reducer.t}, adding each state's
+    deferred count to [deferred]. *)
+val successors :
+  policy ->
+  deferred:int Atomic.t ->
+  ('a, 'v, 's) Cimp.System.t ->
+  (Cimp.System.event * ('a, 'v, 's) Cimp.System.t) list

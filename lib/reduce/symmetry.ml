@@ -1,0 +1,94 @@
+(* Symmetry + register-liveness canonical fingerprints.
+
+   Identical processes (the mutators of the GC model) are interchangeable:
+   permuting them in a global state yields a state with the same future
+   behaviour up to the same permutation, and all invariants of interest
+   quantify over them symmetrically.  The checker can therefore dedup on
+   a canonical orbit representative — here, the one that sorts the
+   symmetric pids by a structural key — collapsing up to n! permutations
+   of each state into one.
+
+   Orthogonally, a *liveness* canonicalization nulls local registers that
+   are dead at the current control point (their value cannot be read
+   before being overwritten, and no invariant reads them there), merging
+   states that differ only in dead-register junk.
+
+   Both are fingerprint-level only: the checker keeps exploring the
+   concrete state it reached, so canonical states are never executed —
+   which is what makes the scheme applicable to CIMP states whose
+   commands embed closures (pids are baked into request closures, so a
+   permuted state could not be built as an executable system anyway).
+   The canonical representative is assembled as (control spines, data
+   payloads) and hashed with Check.Fingerprint.of_parts, which uses the
+   exact mix of of_system. *)
+
+type ('a, 'v, 's) spec = {
+  sym_pids : Cimp.System.pid list;
+      (* the interchangeable processes; everything else keeps its slot *)
+  canon_local : ('a, 'v, 's) Cimp.System.t -> pid:Cimp.System.pid -> 's -> 's;
+      (* liveness canonicalization of one process's data at this state;
+         must return the argument *physically unchanged* when no rule
+         fires (change is detected by [!=]) *)
+  key : ('a, 'v, 's) Cimp.System.t -> pid:Cimp.System.pid -> canon:'s -> Stdlib.Obj.t;
+      (* structural sort key of a symmetric process: must cover its
+         control spine, canonical local data, and every per-process slice
+         of shared state (store buffer, work-list, handshake bits, ...) *)
+  permute_ok : ('a, 'v, 's) Cimp.System.t -> bool;
+      (* is the pid permutation an automorphism at this state?  (The GC
+         model's handshake signal loop iterates mutators in index order,
+         so states inside that window are excluded.) *)
+  rename_shared : perm:(Cimp.System.pid -> Cimp.System.pid) -> pid:Cimp.System.pid -> 's -> 's;
+      (* apply the pid renaming to one (canonicalized) data payload:
+         per-process slices of shared state move with the permutation;
+         identity for payloads that mention no pids *)
+}
+
+(* All permutations of a list, for the property tests. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x ->
+        let rest = List.filter (fun y -> y <> x) l in
+        List.map (fun p -> x :: p) (permutations rest))
+      l
+
+(* Canonical fingerprint of [sys] under [spec].  Returns the fingerprint
+   plus whether the sort actually permuted anything and whether any
+   register was nulled (for the reduction counters). *)
+let canonical_fingerprint spec sys =
+  let n = Cimp.System.n_procs sys in
+  let data p = (Cimp.System.proc sys p).Cimp.Com.data in
+  let spine p = Cimp.Com.stack_labels (Cimp.System.proc sys p).Cimp.Com.stack in
+  let nulled = ref false in
+  let canon =
+    Array.init n (fun p ->
+        let d = data p in
+        let c = spec.canon_local sys ~pid:p d in
+        if c != d then nulled := true;
+        c)
+  in
+  (* perm.(old_pid) = canonical slot; src.(slot) = old_pid *)
+  let perm = Array.init n Fun.id in
+  let src = Array.init n Fun.id in
+  let permuted = ref false in
+  let sym = Array.of_list spec.sym_pids in
+  if Array.length sym > 1 && spec.permute_ok sys then begin
+    let order = Array.map (fun p -> (spec.key sys ~pid:p ~canon:canon.(p), p)) sym in
+    (* stable, so equal keys keep their pid order and the identity wins
+       on fully symmetric states *)
+    Array.stable_sort (fun (k1, _) (k2, _) -> Stdlib.compare k1 k2) order;
+    Array.iteri
+      (fun i (_, p) ->
+        let slot = sym.(i) in
+        src.(slot) <- p;
+        perm.(p) <- slot;
+        if p <> slot then permuted := true)
+      order
+  end;
+  let control = List.init n (fun q -> spine src.(q)) in
+  let payload =
+    List.init n (fun q ->
+        Stdlib.Obj.repr (spec.rename_shared ~perm:(fun p -> perm.(p)) ~pid:q canon.(src.(q))))
+  in
+  (Check.Fingerprint.of_parts ~control ~data:payload, !permuted, !nulled)

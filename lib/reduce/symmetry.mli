@@ -1,0 +1,39 @@
+(** Symmetry + register-liveness canonical fingerprints.
+
+    Interchangeable processes are sorted into a canonical order by a
+    structural key; local registers that are dead at the current control
+    point are nulled.  Both happen only in the fingerprint the checker
+    dedups on — concrete states are explored unchanged, and canonical
+    states are never executed (CIMP commands embed closures, so they
+    could not be).
+
+    Soundness requires: the symmetric processes run the same program,
+    the invariants are invariant under the permutation, [permute_ok]
+    excludes every state where the permutation is not an automorphism,
+    and [canon_local] nulls only registers no future read or invariant
+    can observe before an overwrite.  Liveness rules are stated for
+    normal-form rest points: use only with normal-form exploration (the
+    checkers' default). *)
+
+type ('a, 'v, 's) spec = {
+  sym_pids : Cimp.System.pid list;
+  canon_local : ('a, 'v, 's) Cimp.System.t -> pid:Cimp.System.pid -> 's -> 's;
+      (** must return its argument physically unchanged when no rule
+          fires; change is detected by [!=] *)
+  key : ('a, 'v, 's) Cimp.System.t -> pid:Cimp.System.pid -> canon:'s -> Stdlib.Obj.t;
+      (** structural sort key: control spine, canonical local data, and
+          every per-process slice of shared state *)
+  permute_ok : ('a, 'v, 's) Cimp.System.t -> bool;
+  rename_shared : perm:(Cimp.System.pid -> Cimp.System.pid) -> pid:Cimp.System.pid -> 's -> 's;
+      (** move per-process slices of shared state along the permutation;
+          identity for payloads that mention no pids *)
+}
+
+(** All permutations of a list (property tests; factorial blowup). *)
+val permutations : 'a list -> 'a list list
+
+(** [canonical_fingerprint spec sys] = [(fp, permuted, nulled)]: the
+    fingerprint of the canonical representative, whether the sort moved
+    any process, and whether any dead register was nulled. *)
+val canonical_fingerprint :
+  ('a, 'v, 's) spec -> ('a, 'v, 's) Cimp.System.t -> Check.Fingerprint.t * bool * bool

@@ -9,6 +9,7 @@ let () =
       ("check", Test_check.suite);
       ("invariants", Test_invariants.suite);
       ("safety", Test_safety.suite);
+      ("reduce", Test_reduce.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
     ]
