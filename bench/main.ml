@@ -315,16 +315,52 @@ let checker_reduce () =
    next to the text output so perf PRs can diff BENCH_*.json across
    revisions.  The path is a CLI flag (-o FILE) so revisions can write
    side by side. *)
-let bench_report_file = ref "BENCH_3.json"
+let bench_report_file = ref "BENCH_4.json"
+let force_gap = ref false
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_3.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_4.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
+      ( "--force",
+        Arg.Set force_gap,
+        "  write the report even if earlier BENCH_<n>.json files in the series are missing" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [-o FILE]"
+    "bench [-o FILE] [--force]"
+
+(* BENCH_<n>.json reports form a per-revision series that perf PRs diff
+   pairwise; a missing predecessor is a silent hole those diffs then skip
+   over (PR 3's run defaulted BENCH_2.json away exactly like that).
+   Refuse the write up front — before minutes of benchmarking — unless
+   --force acknowledges the gap. *)
+let series_index file =
+  let base = Filename.basename file in
+  if
+    String.length base > 11
+    && String.sub base 0 6 = "BENCH_"
+    && Filename.check_suffix base ".json"
+  then int_of_string_opt (String.sub base 6 (String.length base - 11))
+  else None
+
+let check_series () =
+  match series_index !bench_report_file with
+  | None -> ()
+  | Some n ->
+    let dir = Filename.dirname !bench_report_file in
+    let missing =
+      List.filter
+        (fun k -> not (Sys.file_exists (Filename.concat dir (Fmt.str "BENCH_%d.json" k))))
+        (List.init (max 0 (n - 1)) (fun i -> i + 1))
+    in
+    if missing <> [] && not !force_gap then
+      Fmt.failwith
+        "refusing to write %s: missing earlier report%s in the series: %s — regenerate with \
+         `bench -o BENCH_<n>.json`, or pass --force to accept the gap"
+        !bench_report_file
+        (if List.length missing = 1 then "" else "s")
+        (String.concat ", " (List.map (Fmt.str "BENCH_%d.json") missing))
 
 let write_report groups checker checker_par checker_reduce =
   let group_record (gname, rows) =
@@ -364,6 +400,7 @@ let write_report groups checker checker_par checker_reduce =
 
 let () =
   parse_cli ();
+  check_series ();
   shape_results ();
   Fmt.pr "=== timings (Bechamel, monotonic clock) ===@.";
   let cycle_test, cleanup = fig2_cycle () in

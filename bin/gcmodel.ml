@@ -116,8 +116,41 @@ let report cfg obs (violation : _ Check.Trace.t option) =
     (* the counterexample as a replayable artifact *)
     Obs.Reporter.emit obs "violation" [ ("trace", Check.Trace.to_json tr) ]
 
+(* -- counterexample forensics (lib/explain) ---------------------------------- *)
+
+let explain_last =
+  Arg.(
+    value
+    & opt int 8
+    & info [ "last" ]
+        ~doc:"How many steps touching the witness refs the explanation shows.")
+
+let explain_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "explain" ] ~docv:"FILE"
+        ~doc:"On a violation, write a counterexample forensics HTML report to $(docv).")
+
+let write_explanation ?(last = 8) ~html ~obs cfg (tr : Explain.Report.trace) =
+  let rep = Explain.Report.analyze cfg tr in
+  Obs.Reporter.emit obs "explanation" [ ("report", Explain.Report.to_json rep) ];
+  (match html with
+  | None -> ()
+  | Some path ->
+    Explain.Report.write_html ~last path rep;
+    Fmt.pr "explain: HTML report written to %s@." path);
+  rep
+
+(* the --explain=FILE rider on explore / walk / crosscheck *)
+let explain_violation ?last ~html ~obs cfg violation =
+  match (html, violation) with
+  | None, _ -> ()
+  | Some _, None -> Fmt.pr "explain: no violation — no report written@."
+  | Some _, Some tr -> ignore (write_explanation ?last ~html ~obs cfg tr)
+
 let explore_cmd =
-  let run cv shape safety_only max_states jobs reduce obs =
+  let run cv shape safety_only max_states jobs reduce explain obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d reduce=%a@."
@@ -130,17 +163,18 @@ let explore_cmd =
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
     report cfg obs o.Check.Explore.violation;
+    explain_violation ~html:explain ~obs cfg o.Check.Explore.violation;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
-      $ reduce_term ~default:"all" $ obs_term)
+      $ reduce_term ~default:"all" $ explain_file $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run cv shape safety_only steps seed jobs reduce obs =
+  let run cv shape safety_only steps seed jobs reduce explain obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d jobs=%d reduce=%a@."
@@ -152,15 +186,16 @@ let walk_cmd =
     in
     Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
     report cfg obs o.Check.Random_walk.violation;
+    explain_violation ~html:explain ~obs cfg o.Check.Random_walk.violation;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ jobs
-      $ reduce_term ~default:"none" $ obs_term)
+      $ reduce_term ~default:"none" $ explain_file $ obs_term)
 
 let crosscheck_cmd =
-  let run cv shape safety_only max_states reduce obs =
+  let run cv shape safety_only max_states reduce explain obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     (match reduce with
@@ -175,6 +210,16 @@ let crosscheck_cmd =
         ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Reduce.Crosscheck.pp r;
+    (* the cross-check aggregates outcomes but keeps no trace; regenerate
+       the reduced counterexample (deterministic) if a report was asked for *)
+    (match explain with
+    | None -> ()
+    | Some _ ->
+      let o =
+        Check.Explore.run ~max_states ~reducer
+          ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+      in
+      explain_violation ~html:explain ~obs cfg o.Check.Explore.violation);
     Obs.Reporter.close obs;
     match Reduce.Crosscheck.errors r with
     | [] -> Fmt.pr "cross-check OK@."
@@ -190,7 +235,78 @@ let crosscheck_cmd =
           Exits 1 on mismatch.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ max_states
-      $ reduce_term ~default:"all" $ obs_term)
+      $ reduce_term ~default:"all" $ explain_file $ obs_term)
+
+let explain_cmd =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Explain an exported trace: $(docv) holds a trace object as written by the \
+             $(b,violation) observability record (either the record itself or its \
+             \"trace\" payload).  The schedule is validated against the configured \
+             instance and replayed.  Without $(b,--trace), the instance is explored \
+             until a violation is found.")
+  in
+  let html_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Also write a self-contained HTML report to $(docv).")
+  in
+  let run cv shape safety_only max_states reduce trace_file html_file last obs =
+    let cfg, v = cv in
+    let model = model_of cv shape in
+    let trace =
+      match trace_file with
+      | Some path ->
+        let fail msg =
+          Fmt.epr "gcmodel explain: %s@." msg;
+          exit 1
+        in
+        let raw = In_channel.with_open_bin path In_channel.input_all in
+        let json =
+          match Obs.Json.of_string raw with
+          | Error msg -> fail (Fmt.str "%s: not JSON: %s" path msg)
+          | Ok (Obs.Json.Obj fields as j) ->
+            (* accept a whole "violation" record or the bare trace object *)
+            (match List.assoc_opt "trace" fields with Some t -> t | None -> j)
+          | Ok j -> j
+        in
+        (match Explain.Replay.import_and_replay model.Core.Model.system json with
+        | Ok tr -> tr
+        | Error msg -> fail (Fmt.str "%s: %s" path msg))
+      | None ->
+        Fmt.pr "explaining variant=%s shape=%s muts=%d refs=%d (searching for a violation)@."
+          v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs;
+        let reducer = Core.Reduction.reducer cfg reduce in
+        let o =
+          Check.Par_explore.run ~jobs:1 ~max_states ~obs ?reducer
+            ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+        in
+        (match o.Check.Explore.violation with
+        | Some tr -> tr
+        | None ->
+          Fmt.epr "gcmodel explain: no violation found (%d states explored) — nothing to explain@."
+            o.Check.Explore.states;
+          exit 1)
+    in
+    let rep = write_explanation ~last ~html:html_file ~obs cfg trace in
+    Fmt.pr "%s@." (Explain.Report.render ~last rep);
+    Obs.Reporter.close obs
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Counterexample forensics: replay a trace (or explore to a violation), then print \
+          the violated conjunct and witness, a per-process lane timeline, and the per-step \
+          state-diff narrative.")
+    Term.(
+      const run $ cfg_term $ shape_term $ safety_only $ max_states
+      $ reduce_term ~default:"all" $ trace_file $ html_file $ explain_last $ obs_term)
 
 let variants_cmd =
   let run () =
@@ -252,4 +368,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ explore_cmd; walk_cmd; crosscheck_cmd; variants_cmd; shapes_cmd; dump_cmd; program_cmd ]))
+          [
+            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; variants_cmd; shapes_cmd;
+            dump_cmd; program_cmd;
+          ]))

@@ -78,6 +78,26 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     end
   in
   let t0 = Unix.gettimeofday () in
+  (* per-phase wall-time attribution for the "profile" record: successor
+     generation vs normalization vs fingerprinting vs invariant evaluation
+     (the invariant share comes from Inv_stats).  Only paid when a
+     reporter is attached — the disabled path costs one branch per
+     timed call, like the heartbeat gate. *)
+  let profiling = Obs.Reporter.enabled obs in
+  let gc0 = Gc.quick_stat () in
+  let succ_s = ref 0. and succ_calls = ref 0 in
+  let norm_s = ref 0. and fp_s = ref 0. and fp_calls = ref 0 in
+  let timed acc calls f =
+    if profiling then begin
+      let t = Unix.gettimeofday () in
+      let r = f () in
+      acc := !acc +. (Unix.gettimeofday () -. t);
+      incr calls;
+      r
+    end
+    else f ()
+  in
+  let norm_calls = ref 0 (* unreported; [timed] wants a counter *) in
   let seen = Fingerprint.Table.create 65536 in
   (* Parent pointers for trace reconstruction: fingerprint + event only.
      Retaining every full state here used to dominate the checker's
@@ -156,7 +176,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     { Trace.initial; steps = replay initial chain []; broken }
   in
   let enqueue ~from_fp ~event ~d sys =
-    let fp = fp_of sys in
+    let fp = timed fp_s fp_calls (fun () -> fp_of sys) in
     if not (Fingerprint.Table.mem seen fp) then begin
       Fingerprint.Table.add seen fp ();
       (match (from_fp, event) with
@@ -186,13 +206,14 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
       else begin
         incr transitions;
         record_event event;
-        enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1) (norm sys');
+        enqueue ~from_fp:(Some fp) ~event:(Some event) ~d:(d + 1)
+          (timed norm_s norm_calls (fun () -> norm sys'));
         expand fp d rest
       end
   in
   while not (Queue.is_empty q) && !violation = None && not !truncated do
     let fp, sys, d = Queue.pop q in
-    let succs = Reducer.succs_of reducer sys in
+    let succs = timed succ_s succ_calls (fun () -> Reducer.succs_of reducer sys) in
     if succs = [] then incr deadlocks;
     expand fp d succs;
     heartbeat ()
@@ -202,6 +223,34 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   iv.Inv_stats.report obs ~first_violation;
   Reducer.report obs ~checker:"explore" reducer ~states:!states ~transitions:!transitions
     ~elapsed;
+  if profiling then begin
+    let inv_evals, inv_s = iv.Inv_stats.totals () in
+    let gc1 = Gc.quick_stat () in
+    let other = Float.max 0. (elapsed -. !succ_s -. !norm_s -. !fp_s -. inv_s) in
+    Obs.Reporter.emit obs "profile"
+      [
+        ("checker", Obs.Json.String "explore");
+        ("states", Obs.Json.Int !states);
+        ("transitions", Obs.Json.Int !transitions);
+        ("elapsed_s", Obs.Json.Float elapsed);
+        ("succ_gen_s", Obs.Json.Float !succ_s);
+        ("succ_gen_calls", Obs.Json.Int !succ_calls);
+        ("normalize_s", Obs.Json.Float !norm_s);
+        ("fingerprint_s", Obs.Json.Float !fp_s);
+        ("fingerprint_calls", Obs.Json.Int !fp_calls);
+        ("invariant_s", Obs.Json.Float inv_s);
+        ("invariant_evals", Obs.Json.Int inv_evals);
+        ("other_s", Obs.Json.Float other);
+        ("minor_words", Obs.Json.Float (gc1.Gc.minor_words -. gc0.Gc.minor_words));
+        ("promoted_words", Obs.Json.Float (gc1.Gc.promoted_words -. gc0.Gc.promoted_words));
+        ("major_words", Obs.Json.Float (gc1.Gc.major_words -. gc0.Gc.major_words));
+        ( "minor_collections",
+          Obs.Json.Int (gc1.Gc.minor_collections - gc0.Gc.minor_collections) );
+        ( "major_collections",
+          Obs.Json.Int (gc1.Gc.major_collections - gc0.Gc.major_collections) );
+        ("heap_words", Obs.Json.Int gc1.Gc.heap_words);
+      ]
+  end;
   if Obs.Reporter.enabled obs then
     Obs.Reporter.emit obs "outcome"
       [

@@ -3,6 +3,7 @@
 type 'sys t = {
   check : 'sys -> string option;
   report : Obs.Reporter.t -> first_violation:string option -> unit;
+  totals : unit -> int * float;
 }
 
 let plain invariants =
@@ -13,6 +14,7 @@ let plain invariants =
         | None -> None
         | Some (name, _) -> Some name);
     report = (fun _ ~first_violation:_ -> ());
+    totals = (fun () -> (0, 0.));
   }
 
 let instrumented invariants =
@@ -46,7 +48,10 @@ let instrumented invariants =
           ])
       invs
   in
-  { check; report }
+  let totals () =
+    (Array.fold_left ( + ) 0 evals, Array.fold_left ( +. ) 0. time)
+  in
+  { check; report; totals }
 
 let make ~obs invariants =
   if Obs.Reporter.enabled obs then instrumented invariants else plain invariants

@@ -14,6 +14,10 @@ type 'sys t = {
       (** name of the first failing invariant, in catalogue order *)
   report : Obs.Reporter.t -> first_violation:string option -> unit;
       (** emit one [invariant] record per invariant (no-op for [plain]) *)
+  totals : unit -> int * float;
+      (** total (evaluations, cumulative seconds) across all invariants so
+          far — the invariant-eval share of the checkers' [profile]
+          record.  [(0, 0.)] for [plain], which keeps no books. *)
 }
 
 val make : obs:Obs.Reporter.t -> (string * ('sys -> bool)) list -> 'sys t

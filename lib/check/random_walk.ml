@@ -23,6 +23,22 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
   let domain_field = match domain with None -> [] | Some d -> [ ("domain", Obs.Json.Int d) ] in
   let trace_tail = max 1 trace_tail in
   let t0 = Unix.gettimeofday () in
+  (* per-phase wall-time attribution for the "profile" record (no
+     fingerprinting here: the walk keeps no seen-set) *)
+  let profiling = Obs.Reporter.enabled obs in
+  let gc0 = Gc.quick_stat () in
+  let succ_s = ref 0. and succ_calls = ref 0 in
+  let norm_s = ref 0. and norm_calls = ref 0 in
+  let timed acc calls f =
+    if profiling then begin
+      let t = Unix.gettimeofday () in
+      let r = f () in
+      acc := !acc +. (Unix.gettimeofday () -. t);
+      incr calls;
+      r
+    end
+    else f ()
+  in
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
   let initial = norm initial in
   let rng = Random.State.make [| seed |] in
@@ -73,14 +89,14 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
       !continue && !violation = None && !taken < steps && !len < max_run_length
       && not (should_stop ())
     do
-      match Reducer.succs_of reducer !sys with
+      match timed succ_s succ_calls (fun () -> Reducer.succs_of reducer !sys) with
       | [] ->
         (* dead end; restart *)
         incr restarts;
         continue := false
       | succs ->
         let event, sys' = List.nth succs (Random.State.int rng (List.length succs)) in
-        let sys' = norm sys' in
+        let sys' = timed norm_s norm_calls (fun () -> norm sys') in
         sys := sys';
         incr taken;
         incr len;
@@ -103,6 +119,35 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
   iv.Inv_stats.report obs ~first_violation;
   (* the walk has no seen-set, so "states" is the steps taken *)
   Reducer.report obs ~checker:"walk" reducer ~states:!taken ~transitions:!taken ~elapsed;
+  if profiling then begin
+    let inv_evals, inv_s = iv.Inv_stats.totals () in
+    let gc1 = Gc.quick_stat () in
+    let other = Float.max 0. (elapsed -. !succ_s -. !norm_s -. inv_s) in
+    Obs.Reporter.emit obs "profile"
+      (("checker", Obs.Json.String "walk")
+       :: domain_field
+      @ [
+          ("states", Obs.Json.Int !taken);
+          ("transitions", Obs.Json.Int !taken);
+          ("elapsed_s", Obs.Json.Float elapsed);
+          ("succ_gen_s", Obs.Json.Float !succ_s);
+          ("succ_gen_calls", Obs.Json.Int !succ_calls);
+          ("normalize_s", Obs.Json.Float !norm_s);
+          ("fingerprint_s", Obs.Json.Float 0.);
+          ("fingerprint_calls", Obs.Json.Int 0);
+          ("invariant_s", Obs.Json.Float inv_s);
+          ("invariant_evals", Obs.Json.Int inv_evals);
+          ("other_s", Obs.Json.Float other);
+          ("minor_words", Obs.Json.Float (gc1.Gc.minor_words -. gc0.Gc.minor_words));
+          ("promoted_words", Obs.Json.Float (gc1.Gc.promoted_words -. gc0.Gc.promoted_words));
+          ("major_words", Obs.Json.Float (gc1.Gc.major_words -. gc0.Gc.major_words));
+          ( "minor_collections",
+            Obs.Json.Int (gc1.Gc.minor_collections - gc0.Gc.minor_collections) );
+          ( "major_collections",
+            Obs.Json.Int (gc1.Gc.major_collections - gc0.Gc.major_collections) );
+          ("heap_words", Obs.Json.Int gc1.Gc.heap_words);
+        ])
+  end;
   if Obs.Reporter.enabled obs then
     Obs.Reporter.emit obs "outcome"
       (("checker", Obs.Json.String "walk")

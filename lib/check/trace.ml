@@ -79,6 +79,68 @@ let schedule_of_json j =
   | None, _ -> Error "trace JSON missing \"broken\""
   | _, None -> Error "trace JSON missing \"schedule\""
 
+(* -- import validation ------------------------------------------------------
+
+   A schedule is only meaningful against the system it was recorded on: a
+   stale trace from an instance with a different process count (--muts) or
+   a different program (variant, disabled ops) used to replay into a
+   confusing failure deep inside the model.  Check every event's pids and
+   labels against the target system's programs up front and fail with a
+   diagnosis instead.  [sys] must be the pristine initial system (its
+   frame stacks still hold the full programs, so Com.labels enumerates
+   every label the process can ever fire). *)
+
+let validate_events sys events =
+  let n = Cimp.System.n_procs sys in
+  let labels_of =
+    (* per-pid label universe, computed once *)
+    Array.init n (fun p ->
+        List.concat_map Cimp.Com.labels (Cimp.System.proc sys p).Cimp.Com.stack)
+  in
+  let check_pid i p =
+    if p < 0 || p >= n then
+      Error
+        (Fmt.str
+           "event %d: pid %d is out of range — this system has %d processes; the trace was \
+            recorded on a different instance (check --muts)"
+           i p n)
+    else Ok ()
+  in
+  let check_label i p l =
+    if List.mem l labels_of.(p) then Ok ()
+    else
+      Error
+        (Fmt.str
+           "event %d: label %S is not a label of process %d (%S) — the trace was recorded \
+            on a different system (check --muts/--variant/--disable)"
+           i l p (Cimp.System.name sys p))
+  in
+  let ( let* ) = Result.bind in
+  let check_event i = function
+    | Cimp.System.Tau (p, l) ->
+      let* () = check_pid i p in
+      check_label i p l
+    | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
+      let* () = check_pid i requester in
+      let* () = check_pid i responder in
+      let* () = check_label i requester req_label in
+      check_label i responder resp_label
+  in
+  let rec go i = function
+    | [] -> Ok ()
+    | ev :: rest -> (
+      match check_event i ev with Ok () -> go (i + 1) rest | Error _ as e -> e)
+  in
+  go 1 events
+
+let import sys j =
+  match schedule_of_json j with
+  | Error _ as e -> e
+  | Ok (broken, events) -> (
+    match validate_events sys events with
+    | Ok () -> Ok (broken, events)
+    | Error msg -> Error msg)
+
 (* Render just the event schedule; state dumps are the callers' business
    (they know the data-state type). *)
 let pp ppf tr =

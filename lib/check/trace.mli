@@ -34,5 +34,19 @@ val event_of_json : Obs.Json.t -> (Cimp.System.event, string) result
 val to_json : ('a, 'v, 's) t -> Obs.Json.t
 
 (** Parse back what {!to_json} wrote: the violated invariant's name and
-    the event schedule. *)
+    the event schedule.  No cross-checking against any system — prefer
+    {!import} when the target system is at hand. *)
 val schedule_of_json : Obs.Json.t -> (string * Cimp.System.event list, string) result
+
+(** [validate_events sys events] checks every event's pids and labels
+    against [sys]'s processes and programs, so a stale trace from a
+    different instance (other [--muts] count, other variant, disabled
+    ops) is rejected with a diagnosis instead of replaying into a
+    confusing failure deep inside the model.  [sys] must be the pristine
+    initial system: its frame stacks still hold the complete programs. *)
+val validate_events :
+  ('a, 'v, 's) Cimp.System.t -> Cimp.System.event list -> (unit, string) result
+
+(** {!schedule_of_json} followed by {!validate_events} against [sys]. *)
+val import :
+  ('a, 'v, 's) Cimp.System.t -> Obs.Json.t -> (string * Cimp.System.event list, string) result

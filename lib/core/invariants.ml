@@ -8,17 +8,65 @@
    invariants the proof composes, each guarded exactly as the paper guards
    them (by handshake phase, by pending-write status, etc.).  Guards that
    only hold for the unablated algorithm consult the configuration: e.g.
-   the phase-protocol invariants presume the handshake fences. *)
+   the phase-protocol invariants presume the handshake fences.
+
+   Besides the boolean [check] (the checker's hot path, evaluated at every
+   state), every invariant carries a [witness] function producing
+   structured failure evidence — which conjunct failed, on which
+   references and processes, and a one-sentence account.  [witness] is
+   only ever evaluated on the single violating state (by [lib/explain]
+   and the [gcmodel explain] subcommand), so it may recompute freely; by
+   construction it returns [[]] exactly when [check] holds. *)
 
 open Types
 open State
+
+type witness = {
+  conjunct : string;  (* the failing conjunct of the invariant *)
+  refs : rf list;  (* heap references witnessing the failure *)
+  pids : int list;  (* processes involved *)
+  detail : string;  (* one sentence naming the witness *)
+}
 
 type t = {
   name : string;
   doc : string;
   safety : bool;  (* part of the headline safety statement? *)
   check : Model.sys -> bool;
+  witness : Model.sys -> witness list;
 }
+
+let w ?(refs = []) ?(pids = []) conjunct detail = { conjunct; refs; pids; detail }
+
+let witness_to_json wit =
+  Obs.Json.Obj
+    [
+      ("conjunct", Obs.Json.String wit.conjunct);
+      ("refs", Obs.Json.List (List.map (fun r -> Obs.Json.Int r) wit.refs));
+      ("pids", Obs.Json.List (List.map (fun p -> Obs.Json.Int p) wit.pids));
+      ("detail", Obs.Json.String wit.detail);
+    ]
+
+let pp_witness ppf wit =
+  Fmt.pf ppf "@[<h>[%s]%a%a %s@]" wit.conjunct
+    (fun ppf -> function [] -> () | rs -> Fmt.pf ppf " refs=%a" Fmt.(Dump.list int) rs)
+    wit.refs
+    (fun ppf -> function [] -> () | ps -> Fmt.pf ppf " pids=%a" Fmt.(Dump.list int) ps)
+    wit.pids wit.detail
+
+(* Seal a check with a witness function, enforcing the contract that a
+   witness list is produced exactly on violating states: [details] is
+   consulted only when [check] fails, and a degenerate [details] that
+   returns nothing still yields a generic conjunct. *)
+let witnessed ~name ~doc ~safety check details =
+  let witness sys =
+    if check sys then []
+    else
+      match details sys with
+      | [] -> [ w name ("the invariant \"" ^ doc ^ "\" fails, with no finer conjunct attribution") ]
+      | ws -> ws
+  in
+  { name; doc; safety; check; witness }
 
 (* -- Root sets ------------------------------------------------------------ *)
 
@@ -82,154 +130,275 @@ let reachable_from_roots cfg sys =
 
 (* The headline theorem: [] (forall r. reachable r --> valid_ref r). *)
 let valid_refs_inv cfg =
-  {
-    name = "valid_refs_inv";
-    doc = "every reference reachable from the (extended) roots denotes a heap object";
-    safety = true;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        List.for_all (Gcheap.Heap.valid_ref sd.s_mem.heap) (reachable_from_roots cfg sys));
-  }
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    List.for_all (Gcheap.Heap.valid_ref sd.s_mem.heap) (reachable_from_roots cfg sys)
+  in
+  witnessed ~name:"valid_refs_inv"
+    ~doc:"every reference reachable from the (extended) roots denotes a heap object"
+    ~safety:true check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      List.filter_map
+        (fun r ->
+          if Gcheap.Heap.valid_ref sd.s_mem.heap r then None
+          else
+            Some
+              (w "reachable-implies-valid" ~refs:[ r ]
+                 (Fmt.str
+                    "reference %d is reachable from the extended roots but denotes no heap \
+                     object (it has been freed)"
+                    r)))
+        (reachable_from_roots cfg sys))
 
 (* Operational manifestation: no load/store/commit ever touched a freed
    cell (the Sys process records such accesses in ghost state). *)
 let no_dangling cfg =
-  {
-    name = "no_dangling_access";
-    doc = "no memory access or commit has hit a freed cell";
-    safety = true;
-    check = (fun sys -> not (Model.sys_data sys cfg).s_dangling);
-  }
+  let check sys = not (Model.sys_data sys cfg).s_dangling in
+  witnessed ~name:"no_dangling_access" ~doc:"no memory access or commit has hit a freed cell"
+    ~safety:true check (fun _ ->
+      [
+        w "no-dangling-access"
+          "a load, store or commit has touched a freed cell (the Sys process's ghost \
+           s_dangling flag is set)";
+      ])
 
 (* Fig. 2 lines 41-44: when the collector is about to free [ref], the
    object is white and unreachable. *)
 let free_only_garbage cfg =
-  {
-    name = "free_only_garbage";
-    doc = "at the free statement, the victim is white and unreachable";
-    safety = true;
-    check =
-      (fun sys ->
-        if not (Cimp.System.at sys Config.pid_gc "gc:free") then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          match (Model.gc_data sys).g_ref with
-          | None -> false
-          | Some r ->
-            Color.is_white sd r && not (List.mem r (reachable_from_roots cfg sys))
-        end);
-  }
+  let check sys =
+    if not (Cimp.System.at sys Config.pid_gc "gc:free") then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      match (Model.gc_data sys).g_ref with
+      | None -> false
+      | Some r -> Color.is_white sd r && not (List.mem r (reachable_from_roots cfg sys))
+    end
+  in
+  witnessed ~name:"free_only_garbage"
+    ~doc:"at the free statement, the victim is white and unreachable" ~safety:true check
+    (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      match (Model.gc_data sys).g_ref with
+      | None ->
+        [
+          w "victim-chosen" ~pids:[ Config.pid_gc ]
+            "the collector is at gc:free with no candidate reference in g_ref";
+        ]
+      | Some r ->
+        (if Color.is_white sd r then []
+         else
+           [
+             w "victim-white" ~refs:[ r ] ~pids:[ Config.pid_gc ]
+               (Fmt.str "the collector is about to free reference %d, which is not white \
+                         (its committed mark agrees with f_M)" r);
+           ])
+        @
+        if not (List.mem r (reachable_from_roots cfg sys)) then []
+        else
+          [
+            w "victim-unreachable" ~refs:[ r ] ~pids:[ Config.pid_gc ]
+              (Fmt.str
+                 "the collector is about to free reference %d, which is still reachable \
+                  from the extended roots"
+                 r);
+          ])
 
 (* -- valid_W_inv (Section 3.2 "Marking") ---------------------------------- *)
 
 let worklists_disjoint cfg =
-  {
-    name = "worklists_disjoint";
-    doc = "grey ownership is exclusive: work-lists (and honorary greys) are pairwise disjoint";
-    safety = false;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        let n = Config.n_software cfg in
-        let sets =
-          List.init n (fun p ->
-              wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> []))
-        in
-        let rec pairwise = function
-          | [] -> true
-          | s :: rest ->
-            List.for_all (fun s' -> List.for_all (fun r -> not (List.mem r s')) s) rest
-            && pairwise rest
-        in
-        List.for_all (fun s -> List.length (List.sort_uniq compare s) = List.length s) sets
-        && pairwise sets);
-  }
+  let sets sd =
+    let n = Config.n_software cfg in
+    List.init n (fun p -> (p, wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> [])))
+  in
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    let sets = List.map snd (sets sd) in
+    let rec pairwise = function
+      | [] -> true
+      | s :: rest ->
+        List.for_all (fun s' -> List.for_all (fun r -> not (List.mem r s')) s) rest
+        && pairwise rest
+    in
+    List.for_all (fun s -> List.length (List.sort_uniq compare s) = List.length s) sets
+    && pairwise sets
+  in
+  witnessed ~name:"worklists_disjoint"
+    ~doc:"grey ownership is exclusive: work-lists (and honorary greys) are pairwise disjoint"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let sets = sets sd in
+      let dups =
+        List.concat_map
+          (fun (p, s) ->
+            let rec find = function
+              | [] -> []
+              | r :: rest -> if List.mem r rest then [ (p, r) ] else find rest
+            in
+            find s)
+          sets
+      in
+      let overlaps =
+        List.concat_map
+          (fun (p, s) ->
+            List.concat_map
+              (fun (q, s') ->
+                if q <= p then []
+                else List.filter_map (fun r -> if List.mem r s' then Some (p, q, r) else None) s)
+              sets)
+          sets
+      in
+      List.map
+        (fun (p, r) ->
+          w "no-duplicate-grey" ~refs:[ r ] ~pids:[ p ]
+            (Fmt.str "reference %d appears twice in process %d's grey set" r p))
+        dups
+      @ List.map
+          (fun (p, q, r) ->
+            w "grey-ownership-exclusive" ~refs:[ r ] ~pids:[ p; q ]
+              (Fmt.str "reference %d is grey for both process %d and process %d" r p q))
+          overlaps)
 
 let valid_w_inv cfg =
-  {
-    name = "valid_W_inv";
-    doc =
+  let greys_of sd p = wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> []) in
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    let n = Config.n_software cfg in
+    let marked_unless_locked p =
+      sd.s_lock = Some p || List.for_all (Color.is_marked sd) (greys_of sd p)
+    in
+    let marks_use_fM p =
+      List.for_all (function W_mark (_, b) -> b = sd.s_mem.fM | _ -> true) (buf_of sd p)
+    in
+    List.for_all (fun p -> marked_unless_locked p && marks_use_fM p) (List.init n Fun.id)
+  in
+  witnessed ~name:"valid_W_inv"
+    ~doc:
       "work-list/ghg entries are marked on the heap unless their owner holds the TSO lock; \
-       pending mark writes use f_M";
-    safety = false;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        let n = Config.n_software cfg in
-        let marked_unless_locked p =
-          let greys = wl_of sd p @ (match ghg_of sd p with Some r -> [ r ] | None -> []) in
-          sd.s_lock = Some p || List.for_all (Color.is_marked sd) greys
-        in
-        let marks_use_fM p =
-          List.for_all
-            (function W_mark (_, b) -> b = sd.s_mem.fM | _ -> true)
-            (buf_of sd p)
-        in
-        List.for_all (fun p -> marked_unless_locked p && marks_use_fM p) (List.init n Fun.id));
-  }
+       pending mark writes use f_M"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let n = Config.n_software cfg in
+      List.concat_map
+        (fun p ->
+          let unmarked =
+            if sd.s_lock = Some p then []
+            else List.filter (fun r -> not (Color.is_marked sd r)) (greys_of sd p)
+          in
+          let bad_marks =
+            List.filter_map
+              (function W_mark (r, b) when b <> sd.s_mem.fM -> Some r | _ -> None)
+              (buf_of sd p)
+          in
+          List.map
+            (fun r ->
+              w "greys-marked-unless-locked" ~refs:[ r ] ~pids:[ p ]
+                (Fmt.str
+                   "reference %d is grey for process %d but unmarked on the committed heap, \
+                    and process %d does not hold the TSO lock"
+                   r p p))
+            unmarked
+          @ List.map
+              (fun r ->
+                w "pending-marks-use-fM" ~refs:[ r ] ~pids:[ p ]
+                  (Fmt.str "process %d has a pending mark of %d with the wrong sense (not f_M)"
+                     p r))
+              bad_marks)
+        (List.init n Fun.id))
 
 (* -- Coarse TSO invariants ------------------------------------------------ *)
 
 let tso_ownership cfg =
-  {
-    name = "tso_ownership";
-    doc = "only the collector has control-variable writes in flight; mutators only write marks and fields";
-    safety = false;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        let gc_ok = function W_fA _ | W_fM _ | W_phase _ | W_mark _ -> true | W_field _ -> false in
-        let mut_ok = function W_mark _ | W_field _ -> true | W_fA _ | W_fM _ | W_phase _ -> false in
-        List.for_all gc_ok (buf_of sd Config.pid_gc)
-        && List.for_all
-             (fun m -> List.for_all mut_ok (buf_of sd (Config.pid_mut cfg m)))
-             (List.init cfg.Config.n_muts Fun.id));
-  }
+  let gc_ok = function W_fA _ | W_fM _ | W_phase _ | W_mark _ -> true | W_field _ -> false in
+  let mut_ok = function W_mark _ | W_field _ -> true | W_fA _ | W_fM _ | W_phase _ -> false in
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    List.for_all gc_ok (buf_of sd Config.pid_gc)
+    && List.for_all
+         (fun m -> List.for_all mut_ok (buf_of sd (Config.pid_mut cfg m)))
+         (List.init cfg.Config.n_muts Fun.id)
+  in
+  witnessed ~name:"tso_ownership"
+    ~doc:"only the collector has control-variable writes in flight; mutators only write marks and fields"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let offending p ok conjunct who =
+        List.filter_map
+          (fun wr ->
+            if ok wr then None
+            else
+              Some
+                (w conjunct ~pids:[ p ]
+                   (Fmt.str "%s (pid %d) has %a pending in its store buffer" who p pp_write wr)))
+          (buf_of sd p)
+      in
+      offending Config.pid_gc gc_ok "collector-writes-no-fields" "the collector"
+      @ List.concat_map
+          (fun m ->
+            offending (Config.pid_mut cfg m) mut_ok "mutators-write-no-control-vars"
+              (Fmt.str "mutator %d" m))
+          (List.init cfg.Config.n_muts Fun.id))
 
 let tso_lock_scope cfg =
-  {
-    name = "tso_lock_scope";
-    doc = "the TSO lock is only ever held inside a mark operation's CAS section";
-    safety = false;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        match sd.s_lock with
-        | None -> true
-        | Some p ->
-          p < Config.n_software cfg
-          && List.exists
-               (fun lbl ->
-                 let has sub =
-                   let n = String.length sub and ln = String.length lbl in
-                   let rec go i = i + n <= ln && (String.sub lbl i n = sub || go (i + 1)) in
-                   go 0
-                 in
-                 has ":cas-" || has ":unlock")
-               (Cimp.Com.at_labels (Cimp.System.proc sys p)));
-  }
+  let in_cas_section sys p =
+    p < Config.n_software cfg
+    && List.exists
+         (fun lbl ->
+           let has sub =
+             let n = String.length sub and ln = String.length lbl in
+             let rec go i = i + n <= ln && (String.sub lbl i n = sub || go (i + 1)) in
+             go 0
+           in
+           has ":cas-" || has ":unlock")
+         (Cimp.Com.at_labels (Cimp.System.proc sys p))
+  in
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    match sd.s_lock with None -> true | Some p -> in_cas_section sys p
+  in
+  witnessed ~name:"tso_lock_scope"
+    ~doc:"the TSO lock is only ever held inside a mark operation's CAS section" ~safety:false
+    check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      match sd.s_lock with
+      | None -> []
+      | Some p ->
+        [
+          w "lock-only-in-cas" ~pids:[ p ]
+            (Fmt.str "process %d holds the TSO lock while at %a, outside any CAS section" p
+               Fmt.(Dump.list string)
+               (if p < Cimp.System.n_procs sys then
+                  Cimp.Com.at_labels (Cimp.System.proc sys p)
+                else []));
+        ])
 
 let gc_fm_coherent cfg =
-  {
-    name = "gc_fM_coherent";
-    doc = "the collector's local f_M agrees with memory, modulo its own pending write";
-    safety = false;
-    check =
-      (fun sys ->
-        let sd = Model.sys_data sys cfg in
-        let g = Model.gc_data sys in
-        let pending_fM =
-          List.fold_left
-            (fun acc w -> match w with W_fM b -> Some b | _ -> acc)
-            None (buf_of sd Config.pid_gc)
-        in
-        (* between the local flip (Fig. 2 line 5's register update) and the
-           issuing of the store, the collector is at the write itself *)
-        Model.at_prefix sys Config.pid_gc "gc:write-fM"
-        ||
-        match pending_fM with Some b -> b = g.g_fM | None -> sd.s_mem.fM = g.g_fM);
-  }
+  let pending_fM sd =
+    List.fold_left
+      (fun acc wr -> match wr with W_fM b -> Some b | _ -> acc)
+      None (buf_of sd Config.pid_gc)
+  in
+  let check sys =
+    let sd = Model.sys_data sys cfg in
+    let g = Model.gc_data sys in
+    (* between the local flip (Fig. 2 line 5's register update) and the
+       issuing of the store, the collector is at the write itself *)
+    Model.at_prefix sys Config.pid_gc "gc:write-fM"
+    ||
+    match pending_fM sd with Some b -> b = g.g_fM | None -> sd.s_mem.fM = g.g_fM
+  in
+  witnessed ~name:"gc_fM_coherent"
+    ~doc:"the collector's local f_M agrees with memory, modulo its own pending write"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let g = Model.gc_data sys in
+      [
+        w "gc-fM-coherent" ~pids:[ Config.pid_gc ]
+          (Fmt.str
+             "the collector's local f_M is %b but memory has f_M=%b and its pending f_M \
+              write is %s"
+             g.g_fM sd.s_mem.fM
+             (match pending_fM sd with None -> "absent" | Some b -> string_of_bool b));
+      ])
 
 (* -- The phase protocol (Fig. 3 / sys_phase_inv) -------------------------- *)
 
@@ -242,158 +411,229 @@ let pending_fA sd =
 (* Phase values consistent with each handshake span, taking the collector's
    pending writes into account.  Presumes the handshake fences. *)
 let phase_inv cfg =
-  {
-    name = "sys_phase_inv";
-    doc = "the phase variable (memory + pending writes) tracks the handshake structure of Fig. 3";
-    safety = false;
-    check =
-      (fun sys ->
-        if not cfg.Config.handshake_fences then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          let mem_phase = sd.s_mem.phase in
-          let pend = pending_phase_writes sd in
-          let round_active = List.exists not sd.s_hs_done in
-          match sd.s_hs_type with
-          | Hs_nop1 ->
-            if cfg.Config.skip_init_handshakes then
-              (* O1: all the initialization writes happen during this span *)
-              (mem_phase = Ph_idle || mem_phase = Ph_init || mem_phase = Ph_mark)
-              && List.for_all (fun p -> p = Ph_init || p = Ph_mark) pend
-            else mem_phase = Ph_idle && pend = []
-          | Hs_nop2 ->
-            (mem_phase = Ph_idle || mem_phase = Ph_init)
-            && List.for_all (fun p -> p = Ph_init) pend
-          | Hs_nop3 ->
-            (mem_phase = Ph_init || mem_phase = Ph_mark)
-            && List.for_all (fun p -> p = Ph_mark) pend
-          | Hs_nop4 -> mem_phase = Ph_mark && pend = []
-          | Hs_get_roots | Hs_get_work ->
-            (* The mark loop can terminate with zero get-work rounds (an
-               empty snapshot, Fig. 2 line 25), so sweep's phase writes can
-               already be in flight while the last round's type is still
-               current.  During an active round, though, phase is stable. *)
-            if round_active then mem_phase = Ph_mark && pend = []
-            else List.for_all (fun p -> p = Ph_sweep || p = Ph_idle) pend
-        end);
-  }
+  let check sys =
+    if not cfg.Config.handshake_fences then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      let mem_phase = sd.s_mem.phase in
+      let pend = pending_phase_writes sd in
+      let round_active = List.exists not sd.s_hs_done in
+      match sd.s_hs_type with
+      | Hs_nop1 ->
+        if cfg.Config.skip_init_handshakes then
+          (* O1: all the initialization writes happen during this span *)
+          (mem_phase = Ph_idle || mem_phase = Ph_init || mem_phase = Ph_mark)
+          && List.for_all (fun p -> p = Ph_init || p = Ph_mark) pend
+        else mem_phase = Ph_idle && pend = []
+      | Hs_nop2 ->
+        (mem_phase = Ph_idle || mem_phase = Ph_init)
+        && List.for_all (fun p -> p = Ph_init) pend
+      | Hs_nop3 ->
+        (mem_phase = Ph_init || mem_phase = Ph_mark)
+        && List.for_all (fun p -> p = Ph_mark) pend
+      | Hs_nop4 -> mem_phase = Ph_mark && pend = []
+      | Hs_get_roots | Hs_get_work ->
+        (* The mark loop can terminate with zero get-work rounds (an
+           empty snapshot, Fig. 2 line 25), so sweep's phase writes can
+           already be in flight while the last round's type is still
+           current.  During an active round, though, phase is stable. *)
+        if round_active then mem_phase = Ph_mark && pend = []
+        else List.for_all (fun p -> p = Ph_sweep || p = Ph_idle) pend
+    end
+  in
+  witnessed ~name:"sys_phase_inv"
+    ~doc:"the phase variable (memory + pending writes) tracks the handshake structure of Fig. 3"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      [
+        w
+          (Fmt.str "phase-span-%a" pp_hs sd.s_hs_type)
+          ~pids:[ Config.pid_gc ]
+          (Fmt.str
+             "during the %a handshake span memory has phase=%a with pending phase writes \
+              [%a], which the Fig. 3 protocol forbids"
+             pp_hs sd.s_hs_type pp_phase sd.s_mem.phase
+             Fmt.(list ~sep:comma pp_phase)
+             (pending_phase_writes sd));
+      ])
 
 let fa_fm_relation cfg =
-  {
-    name = "fA_fM_relation";
-    doc = "f_A tracks f_M per handshake span: distinct across initialization, equal from nop4 on";
-    safety = false;
-    check =
-      (fun sys ->
-        if not cfg.Config.handshake_fences then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          match sd.s_hs_type with
-          | Hs_nop2 ->
-            (* the sense flip committed before this round began; fA is
-               rewritten only at line 12, much later *)
-            (not (pending_fA sd)) && sd.s_mem.fA <> sd.s_mem.fM
-          | Hs_nop3 ->
-            (* the fA := fM write happens within this span: the senses agree
-               only once it has committed *)
-            not (sd.s_mem.fA = sd.s_mem.fM && pending_fA sd)
-          | Hs_nop4 | Hs_get_roots | Hs_get_work ->
-            (not (pending_fA sd)) && sd.s_mem.fA = sd.s_mem.fM
-          | Hs_nop1 -> true (* the flip lands mid-span: both values legitimate *)
-        end);
-  }
+  let check sys =
+    if not cfg.Config.handshake_fences then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      match sd.s_hs_type with
+      | Hs_nop2 ->
+        (* the sense flip committed before this round began; fA is
+           rewritten only at line 12, much later *)
+        (not (pending_fA sd)) && sd.s_mem.fA <> sd.s_mem.fM
+      | Hs_nop3 ->
+        (* the fA := fM write happens within this span: the senses agree
+           only once it has committed *)
+        not (sd.s_mem.fA = sd.s_mem.fM && pending_fA sd)
+      | Hs_nop4 | Hs_get_roots | Hs_get_work ->
+        (not (pending_fA sd)) && sd.s_mem.fA = sd.s_mem.fM
+      | Hs_nop1 -> true (* the flip lands mid-span: both values legitimate *)
+    end
+  in
+  witnessed ~name:"fA_fM_relation"
+    ~doc:"f_A tracks f_M per handshake span: distinct across initialization, equal from nop4 on"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      [
+        w
+          (Fmt.str "fA-fM-span-%a" pp_hs sd.s_hs_type)
+          ~pids:[ Config.pid_gc ]
+          (Fmt.str
+             "during the %a span memory has fA=%b fM=%b with %s pending fA write, violating \
+              the allocation-sense protocol"
+             pp_hs sd.s_hs_type sd.s_mem.fA sd.s_mem.fM
+             (if pending_fA sd then "a" else "no"));
+      ])
 
 (* -- Colour structure per phase ------------------------------------------ *)
 
 (* hp_IdleInit / hp_InitMark: no black references until the write to f_A is
    committed (mutator allocate white until then). *)
 let no_black_refs_init cfg =
-  {
-    name = "no_black_refs_init";
-    doc = "between the sense flip and the commit of fA := fM there are no black references";
-    safety = false;
-    check =
-      (fun sys ->
-        if not cfg.Config.handshake_fences then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          match sd.s_hs_type with
-          | Hs_nop2 | Hs_nop3 ->
-            if sd.s_mem.fA <> sd.s_mem.fM then Color.blacks cfg sd = [] else true
-          | Hs_nop1 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
-        end);
-  }
+  let check sys =
+    if not cfg.Config.handshake_fences then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      match sd.s_hs_type with
+      | Hs_nop2 | Hs_nop3 ->
+        if sd.s_mem.fA <> sd.s_mem.fM then Color.blacks cfg sd = [] else true
+      | Hs_nop1 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
+    end
+  in
+  witnessed ~name:"no_black_refs_init"
+    ~doc:"between the sense flip and the commit of fA := fM there are no black references"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      List.map
+        (fun r ->
+          w "no-black-before-fA-commit" ~refs:[ r ]
+            (Fmt.str "reference %d is black before the fA := fM write has committed" r))
+        (Color.blacks cfg sd))
 
 (* hp_Idle: the heap is uniformly black (before the flip commits) or
    uniformly white (after), and there are no greys. *)
 let idle_heap_uniform cfg =
-  {
-    name = "idle_heap_uniform";
-    doc = "during the idle-sync span the heap is uniformly coloured and grey-free";
-    safety = false;
-    check =
-      (fun sys ->
-        if (not cfg.Config.handshake_fences) || cfg.Config.skip_init_handshakes then
-          (* under O1 the barriers can already fire during the nop1 span *)
-          true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          match sd.s_hs_type with
-          | Hs_nop1 ->
-            Color.greys cfg sd = []
-            &&
-            let dom = Gcheap.Heap.domain sd.s_mem.heap in
-            if sd.s_mem.fA = sd.s_mem.fM then List.for_all (Color.is_marked sd) dom
-            else List.for_all (Color.is_white sd) dom
-          | Hs_nop2 | Hs_nop3 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
-        end);
-  }
+  let check sys =
+    if (not cfg.Config.handshake_fences) || cfg.Config.skip_init_handshakes then
+      (* under O1 the barriers can already fire during the nop1 span *)
+      true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      match sd.s_hs_type with
+      | Hs_nop1 ->
+        Color.greys cfg sd = []
+        &&
+        let dom = Gcheap.Heap.domain sd.s_mem.heap in
+        if sd.s_mem.fA = sd.s_mem.fM then List.for_all (Color.is_marked sd) dom
+        else List.for_all (Color.is_white sd) dom
+      | Hs_nop2 | Hs_nop3 | Hs_nop4 | Hs_get_roots | Hs_get_work -> true
+    end
+  in
+  witnessed ~name:"idle_heap_uniform"
+    ~doc:"during the idle-sync span the heap is uniformly coloured and grey-free" ~safety:false
+    check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let greys = Color.greys cfg sd in
+      let dom = Gcheap.Heap.domain sd.s_mem.heap in
+      let off =
+        if sd.s_mem.fA = sd.s_mem.fM then
+          List.filter (fun r -> not (Color.is_marked sd r)) dom
+        else List.filter (fun r -> not (Color.is_white sd r)) dom
+      in
+      List.map
+        (fun r ->
+          w "idle-grey-free" ~refs:[ r ]
+            (Fmt.str "reference %d is grey during the idle-sync span" r))
+        greys
+      @ List.map
+          (fun r ->
+            w "idle-uniform-colour" ~refs:[ r ]
+              (Fmt.str "reference %d breaks the idle span's uniform heap colouring" r))
+          off)
 
 (* -- Write-barrier invariants (mutator_phase_inv) ------------------------- *)
 
 let marked_insertions cfg =
-  {
-    name = "marked_insertions";
-    doc = "mutators past the insertion-barrier handshake have only marked references in flight";
-    safety = false;
-    check =
-      (fun sys ->
-        if not (cfg.Config.insertion_barrier && cfg.Config.handshake_fences) then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          List.for_all
-            (fun m ->
-              match mut_hp sd m with
-              | Hp_init_mark | Hp_idle_mark_sweep ->
-                List.for_all
-                  (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
-                  (buffered_insertions sd (Config.pid_mut cfg m))
-              | Hp_idle | Hp_idle_init -> true)
-            (List.init cfg.Config.n_muts Fun.id)
-        end);
-  }
+  let check sys =
+    if not (cfg.Config.insertion_barrier && cfg.Config.handshake_fences) then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      List.for_all
+        (fun m ->
+          match mut_hp sd m with
+          | Hp_init_mark | Hp_idle_mark_sweep ->
+            List.for_all
+              (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
+              (buffered_insertions sd (Config.pid_mut cfg m))
+          | Hp_idle | Hp_idle_init -> true)
+        (List.init cfg.Config.n_muts Fun.id)
+    end
+  in
+  witnessed ~name:"marked_insertions"
+    ~doc:"mutators past the insertion-barrier handshake have only marked references in flight"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      List.concat_map
+        (fun m ->
+          match mut_hp sd m with
+          | Hp_init_mark | Hp_idle_mark_sweep ->
+            List.filter_map
+              (fun r ->
+                if Color.is_marked sd r || Color.is_grey cfg sd r then None
+                else
+                  Some
+                    (w "insertions-marked" ~refs:[ r ] ~pids:[ Config.pid_mut cfg m ]
+                       (Fmt.str
+                          "mutator %d has the unmarked reference %d in a pending field \
+                           write past the insertion-barrier handshake"
+                          m r)))
+              (buffered_insertions sd (Config.pid_mut cfg m))
+          | Hp_idle | Hp_idle_init -> [])
+        (List.init cfg.Config.n_muts Fun.id))
 
 let marked_deletions cfg =
-  {
-    name = "marked_deletions";
-    doc = "mutators past the snapshot handshakes only overwrite marked references";
-    safety = false;
-    check =
-      (fun sys ->
-        if not (cfg.Config.deletion_barrier && cfg.Config.handshake_fences) then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          List.for_all
-            (fun m ->
-              match mut_hp sd m with
-              | Hp_idle_mark_sweep ->
-                List.for_all
-                  (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
-                  (buffered_deletions sd (Config.pid_mut cfg m))
-              | Hp_idle | Hp_idle_init | Hp_init_mark -> true)
-            (List.init cfg.Config.n_muts Fun.id)
-        end);
-  }
+  let check sys =
+    if not (cfg.Config.deletion_barrier && cfg.Config.handshake_fences) then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      List.for_all
+        (fun m ->
+          match mut_hp sd m with
+          | Hp_idle_mark_sweep ->
+            List.for_all
+              (fun r -> Color.is_marked sd r || Color.is_grey cfg sd r)
+              (buffered_deletions sd (Config.pid_mut cfg m))
+          | Hp_idle | Hp_idle_init | Hp_init_mark -> true)
+        (List.init cfg.Config.n_muts Fun.id)
+    end
+  in
+  witnessed ~name:"marked_deletions"
+    ~doc:"mutators past the snapshot handshakes only overwrite marked references" ~safety:false
+    check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      List.concat_map
+        (fun m ->
+          match mut_hp sd m with
+          | Hp_idle_mark_sweep ->
+            List.filter_map
+              (fun r ->
+                if Color.is_marked sd r || Color.is_grey cfg sd r then None
+                else
+                  Some
+                    (w "deletions-marked" ~refs:[ r ] ~pids:[ Config.pid_mut cfg m ]
+                       (Fmt.str
+                          "mutator %d is overwriting the unmarked reference %d (a pending \
+                           field write deletes it) past the snapshot handshake"
+                          m r)))
+              (buffered_deletions sd (Config.pid_mut cfg m))
+          | Hp_idle | Hp_idle_init | Hp_init_mark -> [])
+        (List.init cfg.Config.n_muts Fun.id))
 
 (* -- The snapshot invariant (Section 3.2 "Initialization") ---------------- *)
 
@@ -401,73 +641,109 @@ let marked_deletions cfg =
    mutators), everything reachable from its roots is black, grey, or a
    grey-protected white. *)
 let reachable_snapshot_inv cfg =
-  {
-    name = "reachable_snapshot_inv";
-    doc = "black mutators only reach black, grey, or grey-protected white objects";
-    safety = false;
-    check =
-      (fun sys ->
-        if
-          not
-            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
-           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
-        then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          let protected_whites = Color.grey_protected_whites cfg sd in
+  let guard =
+    cfg.Config.deletion_barrier && cfg.Config.insertion_barrier && cfg.Config.handshake_fences
+    && not cfg.Config.alloc_white
+  in
+  let check sys =
+    if not guard then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      let protected_whites = Color.grey_protected_whites cfg sd in
+      List.for_all
+        (fun m ->
+          (not (mut_black sd m))
+          ||
+          let roots = (Model.mut_data sys cfg m).m_roots in
+          let reach = Gcheap.Reach.reachable_set sd.s_mem.heap roots in
           List.for_all
-            (fun m ->
-              (not (mut_black sd m))
-              ||
-              let roots = (Model.mut_data sys cfg m).m_roots in
-              let reach = Gcheap.Reach.reachable_set sd.s_mem.heap roots in
-              List.for_all
-                (fun r ->
-                  Color.is_marked sd r || Color.is_grey cfg sd r || List.mem r protected_whites)
-                reach)
-            (List.init cfg.Config.n_muts Fun.id)
-        end);
-  }
+            (fun r ->
+              Color.is_marked sd r || Color.is_grey cfg sd r || List.mem r protected_whites)
+            reach)
+        (List.init cfg.Config.n_muts Fun.id)
+    end
+  in
+  witnessed ~name:"reachable_snapshot_inv"
+    ~doc:"black mutators only reach black, grey, or grey-protected white objects" ~safety:false
+    check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let protected_whites = Color.grey_protected_whites cfg sd in
+      List.concat_map
+        (fun m ->
+          if not (mut_black sd m) then []
+          else
+            let roots = (Model.mut_data sys cfg m).m_roots in
+            List.filter_map
+              (fun r ->
+                if
+                  Color.is_marked sd r || Color.is_grey cfg sd r
+                  || List.mem r protected_whites
+                then None
+                else
+                  Some
+                    (w "snapshot-reachable-protected" ~refs:[ r ]
+                       ~pids:[ Config.pid_mut cfg m ]
+                       (Fmt.str
+                          "black mutator %d reaches reference %d, which is an unprotected \
+                           white (neither marked, grey, nor grey-protected)"
+                          m r)))
+              (Gcheap.Reach.reachable_set sd.s_mem.heap roots))
+        (List.init cfg.Config.n_muts Fun.id))
 
 (* -- Mark-loop termination (gc_W_empty_mut_inv) --------------------------- *)
 
 let gc_w_empty_mut_inv cfg =
-  {
-    name = "gc_W_empty_mut_inv";
-    doc =
-      "over root/termination handshakes: a completed mutator with leftover grey work implies \
-       some yet-to-complete mutator also holds grey work";
-    safety = false;
-    check =
-      (fun sys ->
-        if
-          not
-            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
-           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
-        then true
+  let guard =
+    cfg.Config.deletion_barrier && cfg.Config.insertion_barrier && cfg.Config.handshake_fences
+    && not cfg.Config.alloc_white
+  in
+  let check sys =
+    if not guard then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      let round_active = List.exists not sd.s_hs_done in
+      match sd.s_hs_type with
+      | (Hs_get_roots | Hs_get_work) when round_active ->
+        (* The paper notes this predicate "is only invariant over those
+           handshakes, when the collector's W is known to start empty":
+           outside a round the collector itself drains W while barriers
+           may grey new work.  Grey work includes an in-flight honorary
+           grey (its owner is about to publish it). *)
+        if wl_of sd Config.pid_gc <> [] then true
         else begin
-          let sd = Model.sys_data sys cfg in
-          let round_active = List.exists not sd.s_hs_done in
-          match sd.s_hs_type with
-          | (Hs_get_roots | Hs_get_work) when round_active ->
-            (* The paper notes this predicate "is only invariant over those
-               handshakes, when the collector's W is known to start empty":
-               outside a round the collector itself drains W while barriers
-               may grey new work.  Grey work includes an in-flight honorary
-               grey (its owner is about to publish it). *)
-            if wl_of sd Config.pid_gc <> [] then true
-            else begin
-              let muts = List.init cfg.Config.n_muts Fun.id in
-              let grey_work m =
-                wl_of sd (Config.pid_mut cfg m) <> []
-                || ghg_of sd (Config.pid_mut cfg m) <> None
-              in
-              let offender = List.exists (fun m -> hs_done sd m && grey_work m) muts in
-              (not offender) || List.exists (fun m -> (not (hs_done sd m)) && grey_work m) muts
-            end
-          | Hs_get_roots | Hs_get_work | Hs_nop1 | Hs_nop2 | Hs_nop3 | Hs_nop4 -> true
-        end);
-  }
+          let muts = List.init cfg.Config.n_muts Fun.id in
+          let grey_work m =
+            wl_of sd (Config.pid_mut cfg m) <> []
+            || ghg_of sd (Config.pid_mut cfg m) <> None
+          in
+          let offender = List.exists (fun m -> hs_done sd m && grey_work m) muts in
+          (not offender) || List.exists (fun m -> (not (hs_done sd m)) && grey_work m) muts
+        end
+      | Hs_get_roots | Hs_get_work | Hs_nop1 | Hs_nop2 | Hs_nop3 | Hs_nop4 -> true
+    end
+  in
+  witnessed ~name:"gc_W_empty_mut_inv"
+    ~doc:
+      "over root/termination handshakes: a completed mutator with leftover grey work implies \
+       some yet-to-complete mutator also holds grey work"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let muts = List.init cfg.Config.n_muts Fun.id in
+      let grey_work m =
+        wl_of sd (Config.pid_mut cfg m) @ (match ghg_of sd (Config.pid_mut cfg m) with Some r -> [ r ] | None -> [])
+      in
+      List.filter_map
+        (fun m ->
+          let work = grey_work m in
+          if hs_done sd m && work <> [] then
+            Some
+              (w "grey-work-accounted" ~refs:work ~pids:[ Config.pid_mut cfg m ]
+                 (Fmt.str
+                    "mutator %d completed the %a round but still holds grey work, and no \
+                     yet-to-complete mutator holds any"
+                    m pp_hs sd.s_hs_type))
+          else None)
+        muts)
 
 (* -- Tricolor invariants (Section 2.1) ------------------------------------ *)
 
@@ -475,61 +751,95 @@ let gc_w_empty_mut_inv cfg =
    object is grey-protected (Fig. 1).  Holds unconditionally for the real
    collector. *)
 let weak_tricolor cfg =
-  {
-    name = "weak_tricolor_inv";
-    doc = "white objects pointed to by black objects are grey-protected";
-    safety = false;
-    check =
-      (fun sys ->
-        if
-          not
-            (cfg.Config.deletion_barrier && cfg.Config.insertion_barrier
-           && cfg.Config.handshake_fences && not cfg.Config.alloc_white)
-        then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          let protected_whites = Color.grey_protected_whites cfg sd in
-          List.for_all
-            (fun b ->
-              match Gcheap.Heap.get sd.s_mem.heap b with
-              | None -> true
-              | Some o ->
-                List.for_all
-                  (fun c -> (not (Color.is_white sd c)) || List.mem c protected_whites)
-                  (Gcheap.Obj.children o))
-            (Color.blacks cfg sd)
-        end);
-  }
+  let guard =
+    cfg.Config.deletion_barrier && cfg.Config.insertion_barrier && cfg.Config.handshake_fences
+    && not cfg.Config.alloc_white
+  in
+  let check sys =
+    if not guard then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      let protected_whites = Color.grey_protected_whites cfg sd in
+      List.for_all
+        (fun b ->
+          match Gcheap.Heap.get sd.s_mem.heap b with
+          | None -> true
+          | Some o ->
+            List.for_all
+              (fun c -> (not (Color.is_white sd c)) || List.mem c protected_whites)
+              (Gcheap.Obj.children o))
+        (Color.blacks cfg sd)
+    end
+  in
+  witnessed ~name:"weak_tricolor_inv"
+    ~doc:"white objects pointed to by black objects are grey-protected" ~safety:false check
+    (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      let protected_whites = Color.grey_protected_whites cfg sd in
+      List.concat_map
+        (fun b ->
+          match Gcheap.Heap.get sd.s_mem.heap b with
+          | None -> []
+          | Some o ->
+            List.filter_map
+              (fun c ->
+                if (not (Color.is_white sd c)) || List.mem c protected_whites then None
+                else
+                  Some
+                    (w "black-to-white-protected" ~refs:[ b; c ]
+                       (Fmt.str
+                          "black object %d points to white object %d, which no grey chain \
+                           protects"
+                          b c)))
+              (Gcheap.Obj.children o))
+        (Color.blacks cfg sd))
 
 (* Strong tricolor over the heap, on the spans where the paper claims it:
    from the commit of fA := fM through the end of the cycle. *)
 let strong_tricolor cfg =
-  {
-    name = "strong_tricolor_inv";
-    doc = "no black-to-white heap edges from the fA commit through the cycle's end";
-    safety = false;
-    check =
-      (fun sys ->
-        if
-          not
-            (cfg.Config.insertion_barrier && cfg.Config.handshake_fences
-           && not cfg.Config.alloc_white && not cfg.Config.insertion_skip_after_roots)
-        then true
-        else begin
-          let sd = Model.sys_data sys cfg in
-          match sd.s_hs_type with
-          | Hs_nop4 | Hs_get_roots | Hs_get_work ->
-            sd.s_mem.fA <> sd.s_mem.fM
-            || List.for_all
-                 (fun b ->
-                   match Gcheap.Heap.get sd.s_mem.heap b with
-                   | None -> true
-                   | Some o ->
-                     List.for_all (fun c -> not (Color.is_white sd c)) (Gcheap.Obj.children o))
-                 (Color.blacks cfg sd)
-          | Hs_nop1 | Hs_nop2 | Hs_nop3 -> true
-        end);
-  }
+  let guard =
+    cfg.Config.insertion_barrier && cfg.Config.handshake_fences
+    && (not cfg.Config.alloc_white)
+    && not cfg.Config.insertion_skip_after_roots
+  in
+  let check sys =
+    if not guard then true
+    else begin
+      let sd = Model.sys_data sys cfg in
+      match sd.s_hs_type with
+      | Hs_nop4 | Hs_get_roots | Hs_get_work ->
+        sd.s_mem.fA <> sd.s_mem.fM
+        || List.for_all
+             (fun b ->
+               match Gcheap.Heap.get sd.s_mem.heap b with
+               | None -> true
+               | Some o ->
+                 List.for_all (fun c -> not (Color.is_white sd c)) (Gcheap.Obj.children o))
+             (Color.blacks cfg sd)
+      | Hs_nop1 | Hs_nop2 | Hs_nop3 -> true
+    end
+  in
+  witnessed ~name:"strong_tricolor_inv"
+    ~doc:"no black-to-white heap edges from the fA commit through the cycle's end"
+    ~safety:false check (fun sys ->
+      let sd = Model.sys_data sys cfg in
+      List.concat_map
+        (fun b ->
+          match Gcheap.Heap.get sd.s_mem.heap b with
+          | None -> []
+          | Some o ->
+            List.filter_map
+              (fun c ->
+                if not (Color.is_white sd c) then None
+                else
+                  Some
+                    (w "no-black-to-white-after-fA-commit" ~refs:[ b; c ]
+                       (Fmt.str
+                          "black object %d points to white object %d after the fA := fM \
+                           commit"
+                          b c)))
+              (Gcheap.Obj.children o))
+        (Color.blacks cfg sd))
 
 (* -- Catalogue ------------------------------------------------------------ *)
 

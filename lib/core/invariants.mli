@@ -9,11 +9,32 @@
     writes, etc.).  Guards that only hold for the unablated algorithm
     consult the configuration. *)
 
+(** Structured failure evidence: the failing conjunct of an invariant,
+    the heap references and processes witnessing it, and a one-sentence
+    account.  Produced by {!t.witness} on a violating state — the
+    diagnosable-counterexample payload [lib/explain] and the
+    [gcmodel explain] subcommand build their narratives from. *)
+type witness = {
+  conjunct : string;
+  refs : Types.rf list;
+  pids : int list;
+  detail : string;
+}
+
+val witness_to_json : witness -> Obs.Json.t
+val pp_witness : witness Fmt.t
+
 type t = {
   name : string;
   doc : string;
   safety : bool;  (** part of the headline safety statement? *)
   check : Model.sys -> bool;
+  witness : Model.sys -> witness list;
+      (** Structured evidence on the state: [[]] exactly when {!check}
+          holds (guaranteed by construction — [witness] re-evaluates
+          [check] first).  Only meant to run on the one violating state;
+          it recomputes reachability freely and is not part of the
+          checker's hot path. *)
 }
 
 (** {1 Root sets} *)

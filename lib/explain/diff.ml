@@ -1,0 +1,325 @@
+(* Semantic diffs between consecutive snapshots.
+
+   Each change is one observable effect of a scheduled event: heap edges
+   rewritten, objects allocated or freed, tricolor transitions (with the
+   honorary-grey / work-list attribution that explains *why* something is
+   grey), TSO buffer pushes and commits, work-list and ghost updates, and
+   the handshake/phase protocol edges.  The renderers in Report build the
+   per-step narrative, the timeline's effect column, and the "last k
+   steps touching the witness" view from these. *)
+
+open Core.Types
+
+type change =
+  | Alloc of rf * bool  (* new object, raw mark bit *)
+  | Free of rf
+  | Edge of rf * fld * rf option * rf option  (* committed field: before, after *)
+  | Mark_bit of rf * bool  (* committed raw mark bit flipped *)
+  | Color_change of rf * Snapshot.color * Snapshot.color * Snapshot.grey_via option
+      (* attribution when the new colour is grey *)
+  | Buf_push of int * write
+  | Buf_commit of int * write
+  | Wl_add of int * rf
+  | Wl_remove of int * rf
+  | Ghg_set of int * rf
+  | Ghg_clear of int * rf
+  | Phase_change of phase * phase
+  | FA_change of bool
+  | FM_change of bool
+  | Hs_round of hs  (* a new handshake round began *)
+  | Hs_signal of int  (* the collector raised mutator m's pending bit *)
+  | Hs_ack of int  (* mutator m cleared its pending bit *)
+  | Hs_complete of int * hs  (* mutator m completed the round: its hp advances *)
+  | Lock_acquire of int
+  | Lock_release of int
+  | Root_add of int * rf  (* mutator index *)
+  | Root_drop of int * rf
+  | Dangling_set
+
+(* -- computing --------------------------------------------------------------- *)
+
+let diff_assoc before after =
+  (* (key, before-only, after-only, changed) over two assoc lists *)
+  let removed = List.filter (fun (k, _) -> not (List.mem_assoc k after)) before in
+  let added = List.filter (fun (k, _) -> not (List.mem_assoc k before)) after in
+  let changed =
+    List.filter_map
+      (fun (k, v) ->
+        match List.assoc_opt k before with
+        | Some v' when v' <> v -> Some (k, v', v)
+        | _ -> None)
+      after
+  in
+  (removed, added, changed)
+
+(* One scheduled event performs at most one buffer operation per pid (a
+   rendezvous pushes one write; a Sys dequeue commits one), but keep the
+   diff total for robustness: any shape that is not a clean push or a
+   clean FIFO/PSO removal degrades to a multiset diff. *)
+let diff_buf p before after =
+  if before = after then []
+  else begin
+    let rec is_prefix xs ys =
+      match (xs, ys) with
+      | [], _ -> true
+      | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+      | _ :: _, [] -> false
+    in
+    let la = List.length after and lb = List.length before in
+    if la = lb + 1 && is_prefix before after then
+      [ Buf_push (p, List.nth after (la - 1)) ]
+    else if lb = la + 1 then begin
+      (* one element left the buffer: the head under TSO (interior
+         removals would indicate a different memory model, and fall
+         through to the multiset diff) *)
+      let rec removed_one bs asx =
+        match (bs, asx) with
+        | [ w ], [] -> Some w
+        | w :: bs', a :: as' ->
+          if w = a then removed_one bs' as' else if bs' = asx then Some w else None
+        | _ -> None
+      in
+      match removed_one before after with
+      | Some wr -> [ Buf_commit (p, wr) ]
+      | None ->
+        List.filter_map (fun wr -> if List.mem wr after then None else Some (Buf_commit (p, wr))) before
+        @ List.filter_map (fun wr -> if List.mem wr before then None else Some (Buf_push (p, wr))) after
+    end
+    else
+      (* not a single push/commit: report as drain + refill *)
+      List.filter_map (fun wr -> if List.mem wr after then None else Some (Buf_commit (p, wr))) before
+      @ List.filter_map (fun wr -> if List.mem wr before then None else Some (Buf_push (p, wr))) after
+  end
+
+let compute ~(before : Snapshot.t) ~(after : Snapshot.t) =
+  let b = before and a = after in
+  let freed, allocd, _ =
+    diff_assoc
+      (List.map (fun (o : Snapshot.obj) -> (o.o_ref, o)) b.heap)
+      (List.map (fun (o : Snapshot.obj) -> (o.o_ref, o)) a.heap)
+  in
+  let allocs = List.map (fun (r, (o : Snapshot.obj)) -> Alloc (r, o.o_mark)) allocd in
+  let frees = List.map (fun (r, _) -> Free r) freed in
+  let edges =
+    List.concat_map
+      (fun (o : Snapshot.obj) ->
+        match List.find_opt (fun (o' : Snapshot.obj) -> o'.o_ref = o.o_ref) b.heap with
+        | None -> []
+        | Some o' ->
+          List.filter_map
+            (fun (f, v) ->
+              match List.assoc_opt f o'.o_fields with
+              | Some v' when v' <> v -> Some (Edge (o.o_ref, f, v', v))
+              | _ -> None)
+            o.o_fields)
+      a.heap
+  in
+  let marks =
+    List.filter_map
+      (fun (o : Snapshot.obj) ->
+        match List.find_opt (fun (o' : Snapshot.obj) -> o'.o_ref = o.o_ref) b.heap with
+        | Some o' when o'.o_mark <> o.o_mark -> Some (Mark_bit (o.o_ref, o.o_mark))
+        | _ -> None)
+      a.heap
+  in
+  let colors =
+    let _, _, changed = diff_assoc b.colors a.colors in
+    List.map
+      (fun (r, cb, ca) ->
+        Color_change (r, cb, ca, if ca = Snapshot.Grey then Snapshot.grey_via a r else None))
+      changed
+  in
+  let bufs =
+    List.concat_map
+      (fun (p, ba) ->
+        match List.assoc_opt p b.bufs with None -> [] | Some bb -> diff_buf p bb ba)
+      a.bufs
+  in
+  let wls =
+    List.concat_map
+      (fun (p, wa) ->
+        match List.assoc_opt p b.wls with
+        | None -> []
+        | Some wb ->
+          List.filter_map (fun r -> if List.mem r wa then None else Some (Wl_remove (p, r))) wb
+          @ List.filter_map (fun r -> if List.mem r wb then None else Some (Wl_add (p, r))) wa)
+      a.wls
+  in
+  let ghg =
+    let removed, added, changed = diff_assoc b.honorary a.honorary in
+    List.map (fun (r, p) -> Ghg_clear (p, r)) removed
+    @ List.map (fun (r, p) -> Ghg_set (p, r)) added
+    @ List.concat_map (fun (r, p, p') -> [ Ghg_clear (p, r); Ghg_set (p', r) ]) changed
+  in
+  let control =
+    (if b.phase <> a.phase then [ Phase_change (b.phase, a.phase) ] else [])
+    @ (if b.fA <> a.fA then [ FA_change a.fA ] else [])
+    @ if b.fM <> a.fM then [ FM_change a.fM ] else []
+  in
+  let hs =
+    let round =
+      if
+        a.hs_type <> b.hs_type
+        || List.exists2 (fun db da -> db && not da) b.hs_done a.hs_done
+      then [ Hs_round a.hs_type ]
+      else []
+    in
+    let pending =
+      List.concat
+        (List.mapi
+           (fun m pa ->
+             match List.nth_opt b.hs_pending m with
+             | Some pb when pb <> pa -> if pa then [ Hs_signal m ] else [ Hs_ack m ]
+             | _ -> [])
+           a.hs_pending)
+    in
+    let complete =
+      List.concat
+        (List.mapi
+           (fun m ha ->
+             match List.nth_opt b.mut_hs m with
+             | Some hb when hb <> ha -> [ Hs_complete (m, ha) ]
+             | _ -> [])
+           a.mut_hs)
+    in
+    round @ pending @ complete
+  in
+  let lock =
+    match (b.lock, a.lock) with
+    | None, Some p -> [ Lock_acquire p ]
+    | Some p, None -> [ Lock_release p ]
+    | Some p, Some q when p <> q -> [ Lock_release p; Lock_acquire q ]
+    | _ -> []
+  in
+  let roots =
+    List.concat_map
+      (fun (m, ra) ->
+        match List.assoc_opt m b.roots with
+        | None -> []
+        | Some rb ->
+          List.filter_map (fun r -> if List.mem r ra then None else Some (Root_drop (m, r))) rb
+          @ List.filter_map (fun r -> if List.mem r rb then None else Some (Root_add (m, r))) ra)
+      a.roots
+  in
+  let dangling = if a.dangling && not b.dangling then [ Dangling_set ] else [] in
+  allocs @ frees @ edges @ marks @ colors @ bufs @ wls @ ghg @ control @ hs @ lock @ roots
+  @ dangling
+
+(* -- rendering ---------------------------------------------------------------- *)
+
+let pp_ref_opt = Fmt.option ~none:(Fmt.any "null") Fmt.int
+
+let describe cfg change =
+  let name p = Core.Config.proc_name cfg p in
+  match change with
+  | Alloc (r, mark) -> Fmt.str "object %d is allocated (mark bit %b)" r mark
+  | Free r -> Fmt.str "object %d is freed" r
+  | Edge (r, f, v, v') ->
+    Fmt.str "committed heap edge %d.f%d changes %a -> %a" r f pp_ref_opt v pp_ref_opt v'
+  | Mark_bit (r, b) -> Fmt.str "committed mark bit of %d becomes %b" r b
+  | Color_change (r, cb, ca, via) ->
+    Fmt.str "reference %d turns %s -> %s%s" r (Snapshot.color_name cb) (Snapshot.color_name ca)
+      (match via with
+      | Some (Snapshot.Via_ghg p) ->
+        Fmt.str " (honorary grey: %s's in-flight mark publication)" (name p)
+      | Some (Snapshot.Via_wl p) -> Fmt.str " (on %s's work-list)" (name p)
+      | None -> "")
+  | Buf_push (p, wr) -> Fmt.str "%s buffers %a (TSO store-buffer push)" (name p) pp_write wr
+  | Buf_commit (p, wr) ->
+    Fmt.str "Sys commits %s's buffered %a to memory (store-buffer flush)" (name p) pp_write wr
+  | Wl_add (p, r) -> Fmt.str "%s's work-list gains %d" (name p) r
+  | Wl_remove (p, r) -> Fmt.str "%s's work-list drops %d" (name p) r
+  | Ghg_set (p, r) -> Fmt.str "%s's ghost honorary grey becomes %d" (name p) r
+  | Ghg_clear (p, r) -> Fmt.str "%s's ghost honorary grey %d is cleared" (name p) r
+  | Phase_change (pb, pa) -> Fmt.str "phase commits %a -> %a" pp_phase pb pp_phase pa
+  | FA_change b -> Fmt.str "allocation sense fA commits to %b" b
+  | FM_change b -> Fmt.str "mark sense fM commits to %b" b
+  | Hs_round h -> Fmt.str "handshake round %a begins" pp_hs h
+  | Hs_signal m -> Fmt.str "the collector signals mutator %d (pending bit set)" m
+  | Hs_ack m -> Fmt.str "mutator %d acknowledges the handshake (pending bit cleared)" m
+  | Hs_complete (m, h) ->
+    Fmt.str "mutator %d completes the %a round (handshake phase now %a)" m pp_hs h pp_hp
+      (hp_of_hs h)
+  | Lock_acquire p -> Fmt.str "%s acquires the TSO lock (CAS section)" (name p)
+  | Lock_release p -> Fmt.str "%s releases the TSO lock" (name p)
+  | Root_add (m, r) -> Fmt.str "mutator %d gains root %d" m r
+  | Root_drop (m, r) -> Fmt.str "mutator %d drops root %d" m r
+  | Dangling_set -> "GHOST: a memory access touched a freed cell (s_dangling set)"
+
+(* Compressed one-token-ish form for the timeline's effect column. *)
+let compact cfg change =
+  let name p = Core.Config.proc_name cfg p in
+  match change with
+  | Alloc (r, _) -> Fmt.str "alloc %d" r
+  | Free r -> Fmt.str "free %d" r
+  | Edge (r, f, _, v') -> Fmt.str "%d.f%d:=%a" r f pp_ref_opt v'
+  | Mark_bit (r, b) -> Fmt.str "mark(%d)=%b" r b
+  | Color_change (r, cb, ca, _) ->
+    Fmt.str "%d:%c->%c" r (Snapshot.color_name cb).[0] (Snapshot.color_name ca).[0]
+  | Buf_push (p, wr) -> Fmt.str "push[%s] %a" (name p) pp_write wr
+  | Buf_commit (p, wr) -> Fmt.str "commit[%s] %a" (name p) pp_write wr
+  | Wl_add (p, r) -> Fmt.str "W[%s]+%d" (name p) r
+  | Wl_remove (p, r) -> Fmt.str "W[%s]-%d" (name p) r
+  | Ghg_set (p, r) -> Fmt.str "ghg[%s]:=%d" (name p) r
+  | Ghg_clear (p, _) -> Fmt.str "ghg[%s]:=-" (name p)
+  | Phase_change (_, pa) -> Fmt.str "phase=%a" pp_phase pa
+  | FA_change b -> Fmt.str "fA=%b" b
+  | FM_change b -> Fmt.str "fM=%b" b
+  | Hs_round h -> Fmt.str "hs %a" pp_hs h
+  | Hs_signal m -> Fmt.str "sig m%d" m
+  | Hs_ack m -> Fmt.str "ack m%d" m
+  | Hs_complete (m, _) -> Fmt.str "m%d done" m
+  | Lock_acquire p -> Fmt.str "lock:=%s" (name p)
+  | Lock_release _ -> "lock:=-"
+  | Root_add (m, r) -> Fmt.str "m%d roots+%d" m r
+  | Root_drop (m, r) -> Fmt.str "m%d roots-%d" m r
+  | Dangling_set -> "DANGLING"
+
+(* The heap references a change mentions — the witness filter of the
+   "last k steps that touched it" view. *)
+let touches = function
+  | Alloc (r, _) | Free r | Mark_bit (r, _) | Color_change (r, _, _, _) -> [ r ]
+  | Edge (r, _, v, v') -> r :: List.filter_map Fun.id [ v; v' ]
+  | Buf_push (_, wr) | Buf_commit (_, wr) -> (
+    match wr with
+    | W_mark (r, _) -> [ r ]
+    | W_field (r, _, v) -> r :: Option.to_list v
+    | W_fA _ | W_fM _ | W_phase _ -> [])
+  | Wl_add (_, r) | Wl_remove (_, r) | Ghg_set (_, r) | Ghg_clear (_, r) -> [ r ]
+  | Root_add (_, r) | Root_drop (_, r) -> [ r ]
+  | Phase_change _ | FA_change _ | FM_change _ | Hs_round _ | Hs_signal _ | Hs_ack _
+  | Hs_complete _ | Lock_acquire _ | Lock_release _ | Dangling_set ->
+    []
+
+let kind = function
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Edge _ -> "edge"
+  | Mark_bit _ -> "mark-bit"
+  | Color_change _ -> "color"
+  | Buf_push _ -> "buf-push"
+  | Buf_commit _ -> "buf-commit"
+  | Wl_add _ -> "wl-add"
+  | Wl_remove _ -> "wl-remove"
+  | Ghg_set _ -> "ghg-set"
+  | Ghg_clear _ -> "ghg-clear"
+  | Phase_change _ -> "phase"
+  | FA_change _ -> "fA"
+  | FM_change _ -> "fM"
+  | Hs_round _ -> "hs-round"
+  | Hs_signal _ -> "hs-signal"
+  | Hs_ack _ -> "hs-ack"
+  | Hs_complete _ -> "hs-complete"
+  | Lock_acquire _ -> "lock-acquire"
+  | Lock_release _ -> "lock-release"
+  | Root_add _ -> "root-add"
+  | Root_drop _ -> "root-drop"
+  | Dangling_set -> "dangling"
+
+let to_json cfg change =
+  Obs.Json.Obj
+    [
+      ("kind", Obs.Json.String (kind change));
+      ("refs", Obs.Json.List (List.map (fun r -> Obs.Json.Int r) (touches change)));
+      ("detail", Obs.Json.String (describe cfg change));
+    ]

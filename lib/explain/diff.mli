@@ -1,0 +1,51 @@
+(** Semantic diffs between consecutive {!Snapshot}s: each [change] is one
+    observable effect of a scheduled event.  The Report renderers build
+    the per-step narrative, the timeline effect column, and the witness
+    "last k steps" view from these. *)
+
+type change =
+  | Alloc of Core.Types.rf * bool  (** new object, raw mark bit *)
+  | Free of Core.Types.rf
+  | Edge of Core.Types.rf * Core.Types.fld * Core.Types.rf option * Core.Types.rf option
+      (** committed field rewrite: (ref, field, before, after) *)
+  | Mark_bit of Core.Types.rf * bool  (** committed raw mark bit flipped *)
+  | Color_change of Core.Types.rf * Snapshot.color * Snapshot.color * Snapshot.grey_via option
+      (** tricolor transition, with attribution when the new colour is grey *)
+  | Buf_push of int * Core.Types.write  (** pid buffers a write *)
+  | Buf_commit of int * Core.Types.write  (** Sys flushes pid's oldest write *)
+  | Wl_add of int * Core.Types.rf
+  | Wl_remove of int * Core.Types.rf
+  | Ghg_set of int * Core.Types.rf
+  | Ghg_clear of int * Core.Types.rf
+  | Phase_change of Core.Types.phase * Core.Types.phase
+  | FA_change of bool
+  | FM_change of bool
+  | Hs_round of Core.Types.hs  (** a new handshake round began *)
+  | Hs_signal of int  (** collector raised mutator m's pending bit *)
+  | Hs_ack of int  (** mutator m cleared its pending bit *)
+  | Hs_complete of int * Core.Types.hs  (** mutator m completed the round *)
+  | Lock_acquire of int
+  | Lock_release of int
+  | Root_add of int * Core.Types.rf  (** mutator index gains a root *)
+  | Root_drop of int * Core.Types.rf
+  | Dangling_set  (** the ghost dangling-access flag was raised *)
+
+val compute : before:Snapshot.t -> after:Snapshot.t -> change list
+(** All changes between two consecutive snapshots, in a deterministic
+    order (heap, colours, buffers, work-lists, ghosts, control, handshake,
+    lock, roots, dangling). *)
+
+val describe : Core.Config.t -> change -> string
+(** Full-sentence rendering for the step narrative. *)
+
+val compact : Core.Config.t -> change -> string
+(** Compressed rendering for the timeline's effect column. *)
+
+val touches : change -> Core.Types.rf list
+(** The heap references a change mentions — used to filter the
+    "last k steps that touched the witness" view. *)
+
+val kind : change -> string
+(** Stable machine-readable tag (e.g. ["buf-commit"]). *)
+
+val to_json : Core.Config.t -> change -> Obs.Json.t

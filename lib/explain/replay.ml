@@ -1,0 +1,69 @@
+(* Replaying an event schedule through the model.
+
+   An exported trace carries only the schedule (the events), not the
+   intermediate states, so explaining it means re-running the events from
+   the initial system.  One event label does not always pin down one
+   successor — a [sys: sys:dequeue] tau, say, is offered once per process
+   with a non-empty store buffer — so the replay is a backtracking DFS
+   over the matching successors of each step.  Each accepted state is
+   normalized exactly as the checkers normalize (imported schedules were
+   recorded post-normalization), which keeps replay deterministic and
+   byte-identical across runs. *)
+
+let event_matches ev ev' =
+  match (ev, ev') with
+  | Cimp.System.Tau (p, l), Cimp.System.Tau (p', l') -> p = p' && l = l'
+  | ( Cimp.System.Rendezvous { requester; req_label; responder; resp_label },
+      Cimp.System.Rendezvous
+        { requester = requester'; req_label = req_label'; responder = responder';
+          resp_label = resp_label' } ) ->
+    requester = requester' && req_label = req_label' && responder = responder'
+    && resp_label = resp_label'
+  | _ -> false
+
+type ('a, 'v, 's) partial = {
+  matched : int;  (* events successfully replayed on the deepest path *)
+  stuck_at : ('a, 'v, 's) Cimp.System.t;  (* the state that offered no match *)
+}
+
+let replay ?(normal_form = true) ~broken initial events =
+  let norm sys = if normal_form then Cimp.System.normalize sys else sys in
+  let initial = norm initial in
+  (* deepest failure across all backtracking branches, for the diagnosis *)
+  let deepest = ref { matched = 0; stuck_at = initial } in
+  let rec go sys acc depth = function
+    | [] -> Some (List.rev acc)
+    | ev :: rest ->
+      let candidates =
+        List.filter_map
+          (fun (ev', sys') -> if event_matches ev ev' then Some sys' else None)
+          (Cimp.System.steps sys)
+      in
+      if candidates = [] && depth >= !deepest.matched then
+        deepest := { matched = depth; stuck_at = sys };
+      List.find_map
+        (fun sys' ->
+          let sys' = norm sys' in
+          go sys' ({ Check.Trace.event = ev; state = sys' } :: acc) (depth + 1) rest)
+        candidates
+  in
+  match go initial [] 0 events with
+  | Some steps -> Ok { Check.Trace.initial; steps; broken }
+  | None ->
+    let d = !deepest in
+    let total = List.length events in
+    let names =
+      Array.init (Cimp.System.n_procs initial) (fun p -> Cimp.System.name initial p)
+    in
+    Error
+      (Fmt.str
+         "replay diverged: event %d of %d (%a) is not enabled in the replayed state — the \
+          trace was recorded on a different system or without normalization"
+         (d.matched + 1) total
+         (Cimp.System.pp_event names)
+         (List.nth events d.matched))
+
+let import_and_replay ?normal_form initial json =
+  match Check.Trace.import initial json with
+  | Error _ as e -> e
+  | Ok (broken, events) -> replay ?normal_form ~broken initial events

@@ -1,0 +1,28 @@
+(** Replaying an event schedule through the model.
+
+    Exported traces carry only the schedule, so explanation re-runs the
+    events from the initial system.  One event does not always pin down
+    one successor (a [sys:dequeue] is offered once per buffering
+    process), so replay is a backtracking DFS over matching successors;
+    every accepted state is normalized (imported schedules were recorded
+    post-normalization), keeping replay deterministic. *)
+
+val event_matches : Cimp.System.event -> Cimp.System.event -> bool
+
+val replay :
+  ?normal_form:bool ->
+  broken:string ->
+  ('a, 'v, 's) Cimp.System.t ->
+  Cimp.System.event list ->
+  (('a, 'v, 's) Check.Trace.t, string) result
+(** [replay ~broken initial events] rebuilds the full trace (all
+    intermediate states) or reports the 1-based index of the deepest
+    event no backtracking branch could take. *)
+
+val import_and_replay :
+  ?normal_form:bool ->
+  ('a, 'v, 's) Cimp.System.t ->
+  Obs.Json.t ->
+  (('a, 'v, 's) Check.Trace.t, string) result
+(** {!Check.Trace.import} (schema parse + pid/label validation against
+    the pristine initial system) followed by {!replay}. *)

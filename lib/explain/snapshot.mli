@@ -1,0 +1,45 @@
+(** Structured per-state snapshots: the explainable projection of one
+    global model state, captured at every step of a replayed trace.
+    Consecutive snapshots are diffed by {!Diff} into the semantic step
+    narrative. *)
+
+type color = White | Grey | Black
+
+val color_name : color -> string
+
+type obj = {
+  o_ref : Core.Types.rf;
+  o_mark : bool;  (** the raw mark bit; its colour meaning depends on f_M *)
+  o_fields : (Core.Types.fld * Core.Types.rf option) list;
+}
+
+type t = {
+  step : int;  (** 0 = the initial state *)
+  heap : obj list;  (** allocated objects, ascending by ref *)
+  colors : (Core.Types.rf * color) list;
+  honorary : (Core.Types.rf * int) list;  (** ghost honorary greys, with owning pid *)
+  wls : (int * Core.Types.rf list) list;  (** work-list per software pid *)
+  bufs : (int * Core.Types.write list) list;  (** TSO buffer per software pid, oldest first *)
+  fA : bool;
+  fM : bool;
+  phase : Core.Types.phase;
+  hs_type : Core.Types.hs;
+  hs_pending : bool list;
+  hs_done : bool list;
+  mut_hs : Core.Types.hs list;
+  lock : int option;
+  roots : (int * Core.Types.rf list) list;  (** per mutator index *)
+  dangling : bool;
+  at : (int * string list) list;  (** control location (head labels) per pid *)
+}
+
+val capture : Core.Config.t -> step:int -> Core.Model.sys -> t
+val color_of : t -> Core.Types.rf -> color option
+
+(** Why a reference is grey: a ghost honorary grey (with owner), or
+    membership of some process's work-list. *)
+type grey_via = Via_ghg of int | Via_wl of int
+
+val grey_via : t -> Core.Types.rf -> grey_via option
+
+val to_json : t -> Obs.Json.t

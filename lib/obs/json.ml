@@ -67,6 +67,44 @@ let to_string v =
   write b v;
   Buffer.contents b
 
+(* Indented rendering for values meant to be read by people (the explain
+   subsystem embeds machine-readable JSON in its HTML reports).  Same
+   grammar as [write]: [of_string] parses either form back. *)
+let to_string_pretty v =
+  let b = Buffer.create 1024 in
+  let pad n = Buffer.add_string b (String.make n ' ') in
+  let rec go ind = function
+    | (Null | Bool _ | Int _ | Float _ | String _) as v -> write b v
+    | List [] -> Buffer.add_string b "[]"
+    | List vs ->
+      Buffer.add_string b "[\n";
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (ind + 2);
+          go (ind + 2) v)
+        vs;
+      Buffer.add_char b '\n';
+      pad ind;
+      Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+      Buffer.add_string b "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ",\n";
+          pad (ind + 2);
+          escape_string b k;
+          Buffer.add_string b ": ";
+          go (ind + 2) v)
+        fields;
+      Buffer.add_char b '\n';
+      pad ind;
+      Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
 let pp ppf v = Fmt.string ppf (to_string v)
 
 (* -- parsing ---------------------------------------------------------------- *)

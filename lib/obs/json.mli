@@ -18,6 +18,13 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
+
+(** Indented multi-line rendering (2-space indent) for human-facing
+    artifacts, e.g. the JSON payload embedded in [lib/explain]'s HTML
+    reports.  [of_string] parses it back just like {!to_string}'s
+    output. *)
+val to_string_pretty : t -> string
+
 val pp : t Fmt.t
 
 (** [of_string s] parses one JSON value (surrounding whitespace allowed);

@@ -12,4 +12,5 @@ let () =
       ("reduce", Test_reduce.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("explain", Test_explain.suite);
     ]

@@ -50,7 +50,9 @@ let test_json_roundtrip () =
           ("empty_list", List []);
         ])
   in
-  Alcotest.check json "print/parse round-trip" v (parse_exn (Obs.Json.to_string v))
+  Alcotest.check json "print/parse round-trip" v (parse_exn (Obs.Json.to_string v));
+  Alcotest.check json "pretty-print/parse round-trip" v
+    (parse_exn (Obs.Json.to_string_pretty v))
 
 let test_json_parses_plain_forms () =
   Alcotest.check json "exponent" (Obs.Json.Float 1000.) (parse_exn "1e3");
