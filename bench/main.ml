@@ -310,18 +310,71 @@ let checker_reduce () =
   in
   Obs.Json.List [ scenario Core.Scenario.baseline; scenario Core.Scenario.two_mutators ]
 
+(* -- campaign: mutation kills, states and wall-time to detection -------------
+
+   The armed mutant population (every site the static analysis expects the
+   checker to kill) plus the five ablations, against the default campaign
+   suite.  The per-mutant states-to-kill / time-to-kill / counterexample
+   length are the numbers a detection-latency regression would move; the
+   expected-equivalent mutants are excluded because their cost is just
+   "explore the whole space N times" (that is checker-reduce's job). *)
+
+let campaign_bench () =
+  let mutants =
+    List.filter
+      (fun (m : Mutate.Campaign.mutant) -> not m.Mutate.Campaign.expected_equivalent)
+      (Mutate.Campaign.default_mutants ())
+  in
+  let o = Mutate.Campaign.run ~budget:400_000 ~mutants () in
+  let s = Mutate.Kill_matrix.stats o in
+  List.iter
+    (fun (e : Mutate.Campaign.entry) ->
+      match e.Mutate.Campaign.classification with
+      | Mutate.Campaign.Killed k ->
+        Fmt.pr "  %-44s %8d states %8.3f s  ce=%d  (%s/%s)@."
+          e.Mutate.Campaign.mutant.Mutate.Campaign.name k.Mutate.Campaign.states_to_kill
+          k.Mutate.Campaign.time_to_kill k.Mutate.Campaign.ce_length k.Mutate.Campaign.invariant
+          k.Mutate.Campaign.conjunct
+      | Mutate.Campaign.Survived _ ->
+        Fmt.pr "  WARNING: armed mutant %s survived@." e.Mutate.Campaign.mutant.Mutate.Campaign.name
+      | Mutate.Campaign.Errored msg ->
+        Fmt.pr "  WARNING: mutant %s errored: %s@." e.Mutate.Campaign.mutant.Mutate.Campaign.name msg)
+    o.Mutate.Campaign.entries;
+  Fmt.pr "  %-44s %8d/%d killed@." "campaign-armed-kill-count" s.Mutate.Kill_matrix.armed_killed
+    s.Mutate.Kill_matrix.armed;
+  Obs.Json.Obj
+    [
+      ("budget", Obs.Json.Int o.Mutate.Campaign.budget);
+      ("summary", Mutate.Kill_matrix.stats_json s);
+      ( "mutants",
+        Obs.Json.List
+          (List.map
+             (fun (e : Mutate.Campaign.entry) ->
+               Obs.Json.Obj
+                 ([
+                    ("mutant", Obs.Json.String e.Mutate.Campaign.mutant.Mutate.Campaign.name);
+                    ("operator", Obs.Json.String e.Mutate.Campaign.mutant.Mutate.Campaign.operator);
+                  ]
+                 @ Mutate.Campaign.classification_fields e.Mutate.Campaign.classification
+                 @ [
+                     ("states_total", Obs.Json.Int e.Mutate.Campaign.states_total);
+                     ("elapsed_total", Obs.Json.Float e.Mutate.Campaign.elapsed_total);
+                   ]))
+             o.Mutate.Campaign.entries) );
+    ]
+
 (* The machine-readable report: one record per Bechamel group, the checker
-   throughput block, and the checker-par / checker-reduce blocks.  Written
-   next to the text output so perf PRs can diff BENCH_*.json across
-   revisions.  The path is a CLI flag (-o FILE) so revisions can write
-   side by side. *)
-let bench_report_file = ref "BENCH_4.json"
+   throughput block, and the checker-par / checker-reduce / campaign
+   blocks.  Written next to the text output so perf PRs can diff
+   BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
+   revisions can write side by side. *)
+let bench_report_file = ref "BENCH_5.json"
 let force_gap = ref false
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_4.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_5.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
@@ -362,7 +415,7 @@ let check_series () =
         (if List.length missing = 1 then "" else "s")
         (String.concat ", " (List.map (Fmt.str "BENCH_%d.json") missing))
 
-let write_report groups checker checker_par checker_reduce =
+let write_report groups checker checker_par checker_reduce campaign =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -390,6 +443,7 @@ let write_report groups checker checker_par checker_reduce =
         ("checker", checker);
         ("checker_par", checker_par);
         ("checker_reduce", checker_reduce);
+        ("campaign", campaign);
       ]
   in
   let oc = open_out !bench_report_file in
@@ -423,5 +477,7 @@ let () =
   let checker_par = checker_par () in
   Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
   let checker_reduce = checker_reduce () in
-  write_report groups checker checker_par checker_reduce;
+  Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";
+  let campaign = campaign_bench () in
+  write_report groups checker checker_par checker_reduce campaign;
   Fmt.pr "done.@."

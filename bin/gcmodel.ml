@@ -28,7 +28,17 @@ let cfg_term =
   let no_ops =
     Arg.(value & opt_all string [] & info [ "disable" ] ~doc:"Disable a mutator op: load, store, alloc, discard, mfence.")
   in
-  let build muts refs fields buf cycles ops variant no_ops =
+  let mutant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            "Arm one campaign mutant (an operator mutant like \
+             $(b,drop-fence:gc:hs2:store-fence), or $(b,variant:NAME) for an ablation) on \
+             top of the configured instance.  Survivor triage stubs reference this flag.")
+  in
+  let build muts refs fields buf cycles ops variant no_ops mutant =
     let v =
       match Core.Variants.by_name variant with
       | Some v -> v
@@ -55,9 +65,44 @@ let cfg_term =
       | "mfence" -> { cfg with Core.Config.mut_mfence = false }
       | s -> Fmt.failwith "unknown op %s" s
     in
-    (List.fold_left (fun c n -> dis n c) cfg no_ops, v)
+    let cfg = List.fold_left (fun c n -> dis n c) cfg no_ops in
+    let cfg =
+      match mutant with
+      | None -> cfg
+      | Some name -> (
+        match String.length name >= 8 && String.sub name 0 8 = "variant:" with
+        | true -> (
+          let vname = String.sub name 8 (String.length name - 8) in
+          match Core.Variants.by_name vname with
+          | Some v -> v.Core.Variants.tweak cfg
+          | None -> Fmt.failwith "unknown variant mutant %s" name)
+        | false -> (
+          (* resolve against the instance, falling back to a site-rich
+             configuration: arming a mutation whose site is absent is a
+             harmless no-op, and triage stubs quote mutant names from the
+             campaign's enumeration configuration *)
+          let fat =
+            {
+              cfg with
+              Core.Config.max_cycles = max 2 cfg.Core.Config.max_cycles;
+              max_mut_ops = 3;
+              mut_load = true;
+              mut_store = true;
+              mut_alloc = true;
+              mut_discard = true;
+            }
+          in
+          match
+            match Mutate.Operators.by_name cfg name with
+            | Some m -> Some m
+            | None -> Mutate.Operators.by_name fat name
+          with
+          | Some m -> Mutate.Operators.tweak m cfg
+          | None -> Fmt.failwith "unknown mutant %s (see `gcmodel campaign --list`)" name))
+    in
+    (cfg, v)
   in
-  const build $ muts $ refs $ fields $ buf $ cycles $ ops $ variant $ no_ops
+  const build $ muts $ refs $ fields $ buf $ cycles $ ops $ variant $ no_ops $ mutant
 
 let shape_term =
   Arg.(value & opt string "single" & info [ "shape" ] ~doc:"Initial heap shape (see $(b,shapes)).")
@@ -363,12 +408,147 @@ let program_cmd =
     (Cmd.info "program" ~doc:"Pretty-print a process's CIMP program (cf. the paper's Figs. 2, 5, 6).")
     Term.(const run $ cfg_term $ which)
 
+(* -- mutation-testing campaign (lib/mutate) ---------------------------------- *)
+
+let campaign_cmd =
+  let operators =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "operators" ] ~docv:"FAMILY"
+          ~doc:
+            "Restrict the campaign to these operator families (repeatable): drop-fence, \
+             weaken-cas, elide-barrier, skip-hs-wait, swap-mark-loads, alloc-color-off, or \
+             variant (the hand-written ablations).  Default: all of them.")
+  in
+  let budget =
+    Arg.(value & opt int 300_000 & info [ "budget" ] ~doc:"State cap per mutant/scenario run.")
+  in
+  let muts =
+    Arg.(value & opt int 1 & info [ "muts" ] ~doc:"Mutators in the campaign scenarios.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSON campaign report (kill-matrix) to $(docv).")
+  in
+  let html =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:"Write the self-contained HTML kill-matrix to $(docv).")
+  in
+  let stubs =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stubs" ] ~docv:"DIR"
+          ~doc:"Write a markdown triage stub per surviving mutant into $(docv).")
+  in
+  let list_only =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the selected mutants and exit.")
+  in
+  let run operators budget muts jobs reduce out html stubs list_only obs =
+    let known = Mutate.Operators.families @ [ "variant" ] in
+    List.iter
+      (fun f -> if not (List.mem f known) then Fmt.failwith "unknown operator family %s" f)
+      operators;
+    let mutants =
+      let all = Mutate.Campaign.default_mutants ~muts () in
+      if operators = [] then all
+      else List.filter (fun m -> List.mem m.Mutate.Campaign.operator operators) all
+    in
+    if list_only then
+      List.iter
+        (fun (m : Mutate.Campaign.mutant) ->
+          Fmt.pr "%-44s %-16s %s%s@." m.Mutate.Campaign.name m.Mutate.Campaign.operator
+            m.Mutate.Campaign.doc
+            (if m.Mutate.Campaign.expected_equivalent then " [expected equivalent]" else ""))
+        mutants
+    else begin
+      let scenarios = Mutate.Campaign.scenarios ~muts () in
+      Fmt.pr "campaign: %d mutants x %d scenarios, budget %d, jobs %d, reduce %a@."
+        (List.length mutants) (List.length scenarios) budget jobs Reduce.Mode.pp reduce;
+      let o = Mutate.Campaign.run ~obs ~budget ~jobs ~reduce ~scenarios ~mutants () in
+      print_string (Mutate.Kill_matrix.summary o);
+      (match out with
+      | None -> ()
+      | Some path ->
+        Mutate.Kill_matrix.write_json path o;
+        Fmt.pr "campaign: JSON report written to %s@." path);
+      (match html with
+      | None -> ()
+      | Some path ->
+        Mutate.Kill_matrix.write_html path o;
+        Fmt.pr "campaign: HTML kill-matrix written to %s@." path);
+      (match stubs with
+      | None -> ()
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        List.iter
+          (fun (e : Mutate.Campaign.entry) ->
+            match e.Mutate.Campaign.classification with
+            | Mutate.Campaign.Survived _ ->
+              let fname =
+                String.map (fun c -> if c = ':' then '-' else c) e.Mutate.Campaign.mutant.Mutate.Campaign.name
+                ^ ".md"
+              in
+              let path = Filename.concat dir fname in
+              Out_channel.with_open_bin path (fun oc ->
+                  Out_channel.output_string oc (Mutate.Campaign.triage_stub e));
+              Fmt.pr "campaign: triage stub written to %s@." path
+            | _ -> ())
+          o.Mutate.Campaign.entries);
+      Obs.Reporter.close obs;
+      (* the ablation assertion: the five hand-written unsafe variants are
+         the campaign's known-answer tests — a survivor among them means
+         the harness, not the catalogue, is broken *)
+      let s = Mutate.Kill_matrix.stats o in
+      if s.Mutate.Kill_matrix.ablations_killed < s.Mutate.Kill_matrix.ablations_total then begin
+        Fmt.epr "campaign FAILED: %d/%d ablations killed@."
+          s.Mutate.Kill_matrix.ablations_killed s.Mutate.Kill_matrix.ablations_total;
+        exit 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Mutation-testing campaign: check every catalogue mutant (plus the five ablations) \
+          against the scenario suite and classify each as killed / survived / errored, with a \
+          kill-matrix in JSON and HTML.  Exits 1 if any ablation survives.")
+    Term.(
+      const run $ operators $ budget $ muts $ jobs $ reduce_term ~default:"all" $ out $ html
+      $ stubs $ list_only $ obs_term)
+
+(* -- generated reference manuals (lib/mutate/doc_gen) ------------------------ *)
+
+let doc_invariants_cmd =
+  let run () = print_string (Mutate.Doc_gen.invariants_md ()) in
+  Cmd.v
+    (Cmd.info "doc-invariants"
+       ~doc:
+         "Emit the invariant reference manual (docs/INVARIANTS.md) to stdout.  CI diffs the \
+          committed file against this output.")
+    Term.(const run $ const ())
+
+let doc_variants_cmd =
+  let run () = print_string (Mutate.Doc_gen.variants_md ()) in
+  Cmd.v
+    (Cmd.info "doc-variants"
+       ~doc:
+         "Emit the variant and mutation-operator reference manual (docs/VARIANTS.md) to \
+          stdout.  CI diffs the committed file against this output.")
+    Term.(const run $ const ())
+
 let () =
   let info = Cmd.info "gcmodel" ~doc:"Executable model of the verified on-the-fly GC for x86-TSO." in
   exit
     (Cmd.eval
        (Cmd.group info
           [
-            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; variants_cmd; shapes_cmd;
-            dump_cmd; program_cmd;
+            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd; variants_cmd;
+            shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd; doc_variants_cmd;
           ]))

@@ -35,7 +35,27 @@ let handshake cfg (h : hs) =
     | Hs_get_work -> "hs-work"
   in
   let l n = "gc:" ^ tag ^ ":" ^ n in
-  let fence lbl = if cfg.Config.handshake_fences then req lbl Req_mfence else Skip lbl in
+  let fence lbl =
+    if cfg.Config.handshake_fences && not (Config.fence_dropped cfg lbl) then req lbl Req_mfence
+    else Skip lbl
+  in
+  (* The [skip-hs-wait] mutation signals the round but rushes past the
+     acknowledgement poll: the rendezvous degenerates to a broadcast. *)
+  let wait =
+    if Config.hs_wait_skipped cfg tag then Skip (l "wait-skipped")
+    else
+      seq
+        [
+          assign (l "pending0") (map_gc (fun d -> { d with g_any_pending = true }));
+          While
+            ( l "poll-loop",
+              (fun s -> (gc s).g_any_pending),
+              Request
+                ( l "poll",
+                  (fun _ -> (pid, Req_hs_poll)),
+                  fun v s -> map_gc (fun d -> { d with g_any_pending = expect_bool v }) s ) );
+        ]
+  in
   seq
     [
       fence (l "store-fence");
@@ -49,14 +69,7 @@ let handshake cfg (h : hs) =
               Request (l "signal", (fun s -> (pid, Req_hs_set (gc s).g_hs_m)), fun _ s -> s);
               assign (l "m++") (map_gc (fun d -> { d with g_hs_m = d.g_hs_m + 1 }));
             ] );
-      assign (l "pending0") (map_gc (fun d -> { d with g_any_pending = true }));
-      While
-        ( l "poll-loop",
-          (fun s -> (gc s).g_any_pending),
-          Request
-            ( l "poll",
-              (fun _ -> (pid, Req_hs_poll)),
-              fun v s -> map_gc (fun d -> { d with g_any_pending = expect_bool v }) s ) );
+      wait;
       fence (l "load-fence");
     ]
 

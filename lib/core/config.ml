@@ -5,6 +5,22 @@
    finds a safety violation) or enacts one of the paper's Section 4
    "Observations" (expected: still safe). *)
 
+(* Single-site syntactic mutations over the model programs, for the
+   mutation-testing campaign (lib/mutate).  Unlike the variant switches
+   above each of these perturbs exactly ONE program point; the builders in
+   collector.ml / mutator.ml / mark.ml consult the active mutation at
+   construction time, keyed by the label (or label prefix) of the site, so
+   a mutant is still an ordinary [t -> t] tweak that composes with
+   [Variants.t] and leaves the mutator programs identical across pids
+   (pid-symmetry reduction stays sound). *)
+type mutation =
+  | Drop_fence of string  (* replace the MFENCE at this exact label by a skip *)
+  | Weaken_cas of string  (* this mark expansion (by prefix): CAS -> unlocked test-and-set *)
+  | Elide_barrier of string  (* "del" | "ins": skip that write-barrier instance *)
+  | Skip_hs_wait of string  (* handshake tag: collector does not wait for the acks *)
+  | Swap_mark_loads of string  (* this mark expansion: load flag before f_M *)
+  | Alloc_color_off  (* allocate with the opposite of the allocation color *)
+
 type t = {
   n_muts : int;
   n_refs : int;
@@ -36,6 +52,7 @@ type t = {
   max_mut_ops : int;
     (* 0 = unbounded mutators; k > 0 gives each mutator a budget of k
        heap operations (handshaking stays free), again for closure *)
+  mutation : mutation option;  (* at most one syntactic mutation at a time *)
 }
 
 let default =
@@ -60,7 +77,26 @@ let default =
     mut_mfence = true;
     max_cycles = 0;
     max_mut_ops = 0;
+    mutation = None;
   }
+
+let mutation_name = function
+  | Drop_fence lbl -> "drop-fence:" ^ lbl
+  | Weaken_cas p -> "weaken-cas:" ^ p
+  | Elide_barrier b -> "elide-barrier:" ^ b
+  | Skip_hs_wait tag -> "skip-hs-wait:" ^ tag
+  | Swap_mark_loads p -> "swap-mark-loads:" ^ p
+  | Alloc_color_off -> "alloc-color-off"
+
+(* Per-site queries for the program builders.  Each is a straight equality
+   test against the active mutation, so an unmutated configuration pays one
+   pattern match per site at construction time and nothing at run time. *)
+let fence_dropped cfg lbl = cfg.mutation = Some (Drop_fence lbl)
+let cas_weakened cfg prefix = cfg.mutation = Some (Weaken_cas prefix)
+let barrier_elided cfg which = cfg.mutation = Some (Elide_barrier which)
+let hs_wait_skipped cfg tag = cfg.mutation = Some (Skip_hs_wait tag)
+let mark_loads_swapped cfg prefix = cfg.mutation = Some (Swap_mark_loads prefix)
+let alloc_flipped cfg = cfg.mutation = Some Alloc_color_off
 
 (* Process identifiers within the CIMP system: the collector, then the
    mutators, then Sys.  Store buffers, work-lists and ghost-grey slots are

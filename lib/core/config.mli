@@ -4,6 +4,29 @@
     mechanism the proof depends on (the checker then finds a safety
     violation) or enacts one of the paper's Section 4 Observations. *)
 
+(** A single-site syntactic mutation over the model programs, for the
+    mutation-testing campaign ([lib/mutate]).  Unlike the coarse variant
+    switches below, each perturbs exactly one program point; the program
+    builders consult the active mutation at construction time, keyed by the
+    site's label (or label prefix), so a mutant is an ordinary [t -> t]
+    tweak composing with {!Variants.t} and preserving mutator pid-symmetry
+    (the reduction subsystem stays sound on mutants). *)
+type mutation =
+  | Drop_fence of string
+      (** replace the MFENCE at this exact label by a skip *)
+  | Weaken_cas of string
+      (** this mark expansion (by prefix): drop the LOCK around the CAS,
+          leaving an unlocked test-and-set *)
+  | Elide_barrier of string
+      (** ["del"] or ["ins"]: skip that write-barrier instance *)
+  | Skip_hs_wait of string
+      (** handshake tag (["hs1"]..["hs4"], ["hs-roots"], ["hs-work"]): the
+          collector signals the round but does not wait for the acks *)
+  | Swap_mark_loads of string
+      (** this mark expansion: load the mark flag before f_M (Fig. 5
+          lines 2-3 reversed) *)
+  | Alloc_color_off  (** allocate with the opposite of the allocation color *)
+
 type t = {
   n_muts : int;
   n_refs : int;
@@ -28,9 +51,27 @@ type t = {
   mut_mfence : bool;
   max_cycles : int;  (** 0 = everlasting; k bounds the run to k cycles *)
   max_mut_ops : int;  (** 0 = unbounded; k = per-mutator heap-op budget *)
+  mutation : mutation option;  (** at most one syntactic mutation at a time *)
 }
 
 val default : t
+
+val mutation_name : mutation -> string
+(** Stable mutant identifier, e.g. ["drop-fence:gc:hs2:store-fence"] —
+    the row key of the campaign kill-matrix. *)
+
+(** {2 Per-site queries for the program builders}
+
+    Each is a straight equality test against the active mutation; an
+    unmutated configuration pays one pattern match per site at program
+    construction time and nothing at run time. *)
+
+val fence_dropped : t -> string -> bool
+val cas_weakened : t -> string -> bool
+val barrier_elided : t -> string -> bool
+val hs_wait_skipped : t -> string -> bool
+val mark_loads_swapped : t -> string -> bool
+val alloc_flipped : t -> bool
 
 (** {1 Process identifiers within the CIMP system} *)
 

@@ -32,6 +32,12 @@ type t = {
   name : string;
   doc : string;
   safety : bool;  (* part of the headline safety statement? *)
+  paper : string;  (* the paper's name/section for this invariant *)
+  conjuncts : (string * string) list;
+    (* every conjunct name this invariant's witnesses can carry, with a
+       one-line informal statement — the source of truth for
+       docs/INVARIANTS.md (gcmodel doc-invariants) and the columns of the
+       campaign kill-matrix *)
   check : Model.sys -> bool;
   witness : Model.sys -> witness list;
 }
@@ -58,7 +64,7 @@ let pp_witness ppf wit =
    witness list is produced exactly on violating states: [details] is
    consulted only when [check] fails, and a degenerate [details] that
    returns nothing still yields a generic conjunct. *)
-let witnessed ~name ~doc ~safety check details =
+let witnessed ~name ~doc ~safety ?(paper = "") ?(conjuncts = []) check details =
   let witness sys =
     if check sys then []
     else
@@ -66,7 +72,7 @@ let witnessed ~name ~doc ~safety check details =
       | [] -> [ w name ("the invariant \"" ^ doc ^ "\" fails, with no finer conjunct attribution") ]
       | ws -> ws
   in
-  { name; doc; safety; check; witness }
+  { name; doc; safety; paper; conjuncts; check; witness }
 
 (* -- Root sets ------------------------------------------------------------ *)
 
@@ -136,7 +142,14 @@ let valid_refs_inv cfg =
   in
   witnessed ~name:"valid_refs_inv"
     ~doc:"every reference reachable from the (extended) roots denotes a heap object"
-    ~safety:true check (fun sys ->
+    ~safety:true
+    ~paper:"valid_refs_inv — the headline theorem, Section 2.1 (Theorem 1) and Section 3.2"
+    ~conjuncts:
+      [
+        ( "reachable-implies-valid",
+          "every reference reachable from the extended roots denotes an allocated heap object" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       List.filter_map
         (fun r ->
@@ -155,7 +168,11 @@ let valid_refs_inv cfg =
 let no_dangling cfg =
   let check sys = not (Model.sys_data sys cfg).s_dangling in
   witnessed ~name:"no_dangling_access" ~doc:"no memory access or commit has hit a freed cell"
-    ~safety:true check (fun _ ->
+    ~safety:true
+    ~paper:"operational corollary of the headline theorem, Section 2.1"
+    ~conjuncts:
+      [ ("no-dangling-access", "no load, store or store-buffer commit has ever hit a freed cell") ]
+    check (fun _ ->
       [
         w "no-dangling-access"
           "a load, store or commit has touched a freed cell (the Sys process's ghost \
@@ -175,7 +192,15 @@ let free_only_garbage cfg =
     end
   in
   witnessed ~name:"free_only_garbage"
-    ~doc:"at the free statement, the victim is white and unreachable" ~safety:true check
+    ~doc:"at the free statement, the victim is white and unreachable" ~safety:true
+    ~paper:"the sweep-safety clause, Section 2.1 / Fig. 2 lines 41-44"
+    ~conjuncts:
+      [
+        ("victim-chosen", "the collector at gc:free has actually chosen a candidate reference");
+        ("victim-white", "the candidate's committed mark disagrees with f_M (it is white)");
+        ("victim-unreachable", "the candidate is unreachable from the extended roots");
+      ]
+    check
     (fun sys ->
       let sd = Model.sys_data sys cfg in
       match (Model.gc_data sys).g_ref with
@@ -224,7 +249,16 @@ let worklists_disjoint cfg =
   in
   witnessed ~name:"worklists_disjoint"
     ~doc:"grey ownership is exclusive: work-lists (and honorary greys) are pairwise disjoint"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"the disjointness half of valid_W_inv, Section 3.2 \"Marking\""
+    ~conjuncts:
+      [
+        ("no-duplicate-grey", "no reference appears twice in one process's grey set");
+        ( "grey-ownership-exclusive",
+          "no reference is grey for two different processes at once (the LOCK'd CAS \
+           guarantees a unique winner)" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let sets = sets sd in
       let dups =
@@ -275,7 +309,17 @@ let valid_w_inv cfg =
     ~doc:
       "work-list/ghg entries are marked on the heap unless their owner holds the TSO lock; \
        pending mark writes use f_M"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"valid_W_inv, Section 3.2 \"Marking\" / Fig. 5"
+    ~conjuncts:
+      [
+        ( "greys-marked-unless-locked",
+          "every grey reference is marked on the committed heap, except while its owner is \
+           inside the CAS critical section" );
+        ( "pending-marks-use-fM",
+          "every mark write in flight in a store buffer carries the current f_M sense" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let n = Config.n_software cfg in
       List.concat_map
@@ -319,7 +363,16 @@ let tso_ownership cfg =
   in
   witnessed ~name:"tso_ownership"
     ~doc:"only the collector has control-variable writes in flight; mutators only write marks and fields"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"write-ownership discipline of the Sys encoding, Section 3.1"
+    ~conjuncts:
+      [
+        ( "collector-writes-no-fields",
+          "the collector's store buffer only ever holds f_A, f_M, phase and mark writes" );
+        ( "mutators-write-no-control-vars",
+          "a mutator's store buffer only ever holds field and mark writes" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let offending p ok conjunct who =
         List.filter_map
@@ -357,6 +410,13 @@ let tso_lock_scope cfg =
   in
   witnessed ~name:"tso_lock_scope"
     ~doc:"the TSO lock is only ever held inside a mark operation's CAS section" ~safety:false
+    ~paper:"the LOCK'd CMPXCHG scope, Section 3.1 / Fig. 5 lines 5-11"
+    ~conjuncts:
+      [
+        ( "lock-only-in-cas",
+          "whenever a process holds the TSO bus lock its control point is inside a mark \
+           operation's CAS section" );
+      ]
     check (fun sys ->
       let sd = Model.sys_data sys cfg in
       match sd.s_lock with
@@ -388,7 +448,15 @@ let gc_fm_coherent cfg =
   in
   witnessed ~name:"gc_fM_coherent"
     ~doc:"the collector's local f_M agrees with memory, modulo its own pending write"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"the collector's view of the sense flip, Section 3.2 \"Initialization\" / Fig. 2 line 5"
+    ~conjuncts:
+      [
+        ( "gc-fM-coherent",
+          "the collector's register copy of f_M equals its pending f_M write if one is in \
+           flight, else the committed f_M" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let g = Model.gc_data sys in
       [
@@ -443,7 +511,26 @@ let phase_inv cfg =
   in
   witnessed ~name:"sys_phase_inv"
     ~doc:"the phase variable (memory + pending writes) tracks the handshake structure of Fig. 3"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"sys_phase_inv / handshake_phase_inv, Section 3.2 / Fig. 3"
+    ~conjuncts:
+      [
+        ( "phase-span-nop1",
+          "during the idle-sync span memory has phase Idle and no phase write is in flight" );
+        ( "phase-span-nop2",
+          "during the nop2 span the phase is Idle or Init, with only Init writes in flight" );
+        ( "phase-span-nop3",
+          "during the nop3 span the phase is Init or Mark, with only Mark writes in flight" );
+        ( "phase-span-nop4",
+          "during the nop4 span memory has phase Mark and no phase write is in flight" );
+        ( "phase-span-get-roots",
+          "during an active root handshake the phase is a committed Mark; once the round is \
+           over only Sweep/Idle writes may be in flight" );
+        ( "phase-span-get-work",
+          "during an active termination handshake the phase is a committed Mark; once the \
+           round is over only Sweep/Idle writes may be in flight" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       [
         w
@@ -478,7 +565,26 @@ let fa_fm_relation cfg =
   in
   witnessed ~name:"fA_fM_relation"
     ~doc:"f_A tracks f_M per handshake span: distinct across initialization, equal from nop4 on"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"fA_fM_relation (allocation-sense protocol), Section 3.2 / Fig. 2 lines 5-12"
+    ~conjuncts:
+      [
+        ( "fA-fM-span-nop1",
+          "the sense flip lands mid-span: both relations are legitimate (never a witness)" );
+        ( "fA-fM-span-nop2",
+          "the flip committed before the round began: f_A and f_M differ in memory and no \
+           f_A write is in flight" );
+        ( "fA-fM-span-nop3",
+          "the f_A := f_M write happens within this span: the senses agree in memory only \
+           once it has committed" );
+        ( "fA-fM-span-nop4",
+          "from nop4 on the senses agree in memory with no f_A write in flight" );
+        ( "fA-fM-span-get-roots",
+          "from nop4 on the senses agree in memory with no f_A write in flight" );
+        ( "fA-fM-span-get-work",
+          "from nop4 on the senses agree in memory with no f_A write in flight" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       [
         w
@@ -508,7 +614,15 @@ let no_black_refs_init cfg =
   in
   witnessed ~name:"no_black_refs_init"
     ~doc:"between the sense flip and the commit of fA := fM there are no black references"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"hp_IdleInit / hp_InitMark colour structure, Section 3.2 \"Initialization\""
+    ~conjuncts:
+      [
+        ( "no-black-before-fA-commit",
+          "while f_A and f_M still differ during initialization, no reference is black \
+           (allocation still produces white)" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       List.map
         (fun r ->
@@ -537,6 +651,14 @@ let idle_heap_uniform cfg =
   in
   witnessed ~name:"idle_heap_uniform"
     ~doc:"during the idle-sync span the heap is uniformly coloured and grey-free" ~safety:false
+    ~paper:"hp_Idle colour structure, Section 3.2 \"Initialization\""
+    ~conjuncts:
+      [
+        ("idle-grey-free", "no reference is grey during the idle-sync span");
+        ( "idle-uniform-colour",
+          "during the idle-sync span the heap is uniformly black (before the flip commits) \
+           or uniformly white (after)" );
+      ]
     check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let greys = Color.greys cfg sd in
@@ -577,7 +699,15 @@ let marked_insertions cfg =
   in
   witnessed ~name:"marked_insertions"
     ~doc:"mutators past the insertion-barrier handshake have only marked references in flight"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"the insertion half of mutator_phase_inv, Section 3.2 / Fig. 6 line 9"
+    ~conjuncts:
+      [
+        ( "insertions-marked",
+          "every reference a post-initialization mutator is inserting (a pending field \
+           write) is already marked or grey" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       List.concat_map
         (fun m ->
@@ -615,6 +745,13 @@ let marked_deletions cfg =
   in
   witnessed ~name:"marked_deletions"
     ~doc:"mutators past the snapshot handshakes only overwrite marked references" ~safety:false
+    ~paper:"the deletion half of mutator_phase_inv, Section 3.2 / Fig. 6 line 8"
+    ~conjuncts:
+      [
+        ( "deletions-marked",
+          "every reference a post-snapshot mutator is overwriting (deleted by a pending \
+           field write) is already marked or grey" );
+      ]
     check (fun sys ->
       let sd = Model.sys_data sys cfg in
       List.concat_map
@@ -665,6 +802,13 @@ let reachable_snapshot_inv cfg =
   in
   witnessed ~name:"reachable_snapshot_inv"
     ~doc:"black mutators only reach black, grey, or grey-protected white objects" ~safety:false
+    ~paper:"the snapshot invariant, Section 3.2 \"Initialization\" / Fig. 2 lines 15-20"
+    ~conjuncts:
+      [
+        ( "snapshot-reachable-protected",
+          "everything reachable from a root-sampled (black) mutator is black, grey, or a \
+           white protected by a grey chain" );
+      ]
     check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let protected_whites = Color.grey_protected_whites cfg sd in
@@ -726,7 +870,15 @@ let gc_w_empty_mut_inv cfg =
     ~doc:
       "over root/termination handshakes: a completed mutator with leftover grey work implies \
        some yet-to-complete mutator also holds grey work"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"gc_W_empty_mut_inv (mark-loop termination), Section 3.2 / Fig. 2 lines 24-34"
+    ~conjuncts:
+      [
+        ( "grey-work-accounted",
+          "when the collector's W is empty mid-round, any grey work still held by a \
+           completed mutator is covered by a yet-to-complete one" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       let muts = List.init cfg.Config.n_muts Fun.id in
       let grey_work m =
@@ -772,7 +924,15 @@ let weak_tricolor cfg =
     end
   in
   witnessed ~name:"weak_tricolor_inv"
-    ~doc:"white objects pointed to by black objects are grey-protected" ~safety:false check
+    ~doc:"white objects pointed to by black objects are grey-protected" ~safety:false
+    ~paper:"the weak tricolor invariant, Section 2.1 / Fig. 1"
+    ~conjuncts:
+      [
+        ( "black-to-white-protected",
+          "every white object directly pointed to by a black object is protected by a grey \
+           chain" );
+      ]
+    check
     (fun sys ->
       let sd = Model.sys_data sys cfg in
       let protected_whites = Color.grey_protected_whites cfg sd in
@@ -821,7 +981,15 @@ let strong_tricolor cfg =
   in
   witnessed ~name:"strong_tricolor_inv"
     ~doc:"no black-to-white heap edges from the fA commit through the cycle's end"
-    ~safety:false check (fun sys ->
+    ~safety:false
+    ~paper:"the strong tricolor invariant, Section 2.1"
+    ~conjuncts:
+      [
+        ( "no-black-to-white-after-fA-commit",
+          "from the f_A := f_M commit through the cycle's end there is no black-to-white \
+           heap edge at all" );
+      ]
+    check (fun sys ->
       let sd = Model.sys_data sys cfg in
       List.concat_map
         (fun b ->

@@ -28,6 +28,14 @@ type t = {
   name : string;
   doc : string;
   safety : bool;  (** part of the headline safety statement? *)
+  paper : string;
+      (** the paper's name/section for this invariant, e.g.
+          ["sys_phase_inv / handshake_phase_inv, Section 3.2 / Fig. 3"] *)
+  conjuncts : (string * string) list;
+      (** every conjunct name this invariant's witnesses can carry, each
+          with a one-line informal statement — the source of truth for the
+          generated [docs/INVARIANTS.md] ([gcmodel doc-invariants]) and
+          the columns of the campaign kill-matrix *)
   check : Model.sys -> bool;
   witness : Model.sys -> witness list;
       (** Structured evidence on the state: [[]] exactly when {!check}

@@ -93,7 +93,14 @@ let code cfg ~pid ~prefix (lens : lens) : (msg, value, State.t) Cimp.Com.t =
         If (l "cas-test", unmarked, seq [ set_winner (l "cas-win") true; store_mark ], set_winner (l "cas-lose") false);
       ]
   in
-  let cas = if cfg.Config.cas_mark then seq [ lock; cas_core; unlock ] else cas_core in
+  (* The [weaken-cas] mutation unlocks ONE expansion (this one, if the
+     prefix matches) while every other marker keeps the LOCK — a finer
+     probe than the cas_mark ablation, which unlocks them all. *)
+  let cas =
+    if cfg.Config.cas_mark && not (Config.cas_weakened cfg prefix) then
+      seq [ lock; cas_core; unlock ]
+    else cas_core
+  in
   let attempt =
     seq
       [
@@ -114,8 +121,8 @@ let code cfg ~pid ~prefix (lens : lens) : (msg, value, State.t) Cimp.Com.t =
       (fun s -> (regs s).mk_ref = None),
       Skip (l "null"),
       seq
-        [
-          load_fM;
-          load_flag (l "load-flag");
-          If (l "flag-test", unmarked, attempt, Skip (l "already-marked"));
-        ] )
+        ((* [swap-mark-loads]: read the flag before f_M, reversing Fig. 5
+            lines 2-3 for this expansion only. *)
+         (if Config.mark_loads_swapped cfg prefix then [ load_flag (l "load-flag"); load_fM ]
+          else [ load_fM; load_flag (l "load-flag") ])
+        @ [ If (l "flag-test", unmarked, attempt, Skip (l "already-marked")) ]) )

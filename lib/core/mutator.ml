@@ -67,8 +67,13 @@ let process cfg m : (msg, value, State.t) Cimp.Com.t =
   (* Store (Fig. 6): pick dst, src in roots and a field; run the deletion
      barrier on the field's current value, the insertion barrier on dst,
      then issue the store (TSO-buffered). *)
+  (* The [elide-barrier] mutations skip one barrier instance while leaving
+     the configuration flags (and so the invariant guards) untouched: the
+     auxiliary invariants stay armed and indict the missing barrier. *)
+  let deletion_on = cfg.Config.deletion_barrier && not (Config.barrier_elided cfg "del") in
+  let insertion_on = cfg.Config.insertion_barrier && not (Config.barrier_elided cfg "ins") in
   let deletion_barrier =
-    if cfg.Config.deletion_barrier then
+    if deletion_on then
       seq
         [
           set_mark_target (l "del-target") (fun d -> d.m_loaded);
@@ -77,7 +82,7 @@ let process cfg m : (msg, value, State.t) Cimp.Com.t =
     else Skip (l "no-del-barrier")
   in
   let insertion_barrier =
-    if cfg.Config.insertion_barrier then begin
+    if insertion_on then begin
       let body =
         seq
           [
@@ -134,7 +139,7 @@ let process cfg m : (msg, value, State.t) Cimp.Com.t =
     in
     seq
       ([ choose ]
-      @ (if cfg.Config.deletion_barrier then [ load_old; deletion_barrier ] else [])
+      @ (if deletion_on then [ load_old; deletion_barrier ] else [])
       @ [ insertion_barrier; write ])
   in
   (* Alloc (Fig. 6): load f_A (TSO), then the paper's atomic allocation,
@@ -155,7 +160,8 @@ let process cfg m : (msg, value, State.t) Cimp.Com.t =
           ( l "alloc",
             (fun s ->
               let d = mut s in
-              (pid, Req_alloc (if cfg.Config.alloc_white then not d.m_fA else d.m_fA))),
+              let color = if cfg.Config.alloc_white then not d.m_fA else d.m_fA in
+              (pid, Req_alloc (if Config.alloc_flipped cfg then not color else color))),
             fun v s ->
               map_mut
                 (fun d ->
@@ -190,7 +196,10 @@ let process cfg m : (msg, value, State.t) Cimp.Com.t =
      poll the pending bit; if raised, fence, do the round's work, fence,
      and lower the bit.  get-roots marks and transfers the roots
      (Fig. 2 lines 16-20); get-work transfers the work-list (lines 32-34). *)
-  let fence lbl = if cfg.Config.handshake_fences then req lbl Req_mfence else Skip lbl in
+  let fence lbl =
+    if cfg.Config.handshake_fences && not (Config.fence_dropped cfg lbl) then req lbl Req_mfence
+    else Skip lbl
+  in
   let mark_roots =
     seq
       [

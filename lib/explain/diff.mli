@@ -49,3 +49,5 @@ val kind : change -> string
 (** Stable machine-readable tag (e.g. ["buf-commit"]). *)
 
 val to_json : Core.Config.t -> change -> Obs.Json.t
+(** Structured rendering: a record with the {!kind} tag plus
+    change-specific fields, as embedded in {!Report.to_json} steps. *)

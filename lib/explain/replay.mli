@@ -8,6 +8,9 @@
     post-normalization), keeping replay deterministic. *)
 
 val event_matches : Cimp.System.event -> Cimp.System.event -> bool
+(** [event_matches recorded offered]: the offered successor's event has
+    the same shape, pids and labels as the recorded one — the criterion
+    the backtracking search uses to select replay branches. *)
 
 val replay :
   ?normal_form:bool ->

@@ -282,20 +282,32 @@ let html_escape s =
   Buffer.contents b
 
 (* A self-contained page: inline CSS, no external assets, and no
-   timestamps — the same analysis renders the same bytes. *)
-let html ?last t =
-  let b = Buffer.create 16384 in
-  let add = Buffer.add_string b in
-  add "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n";
-  add (Fmt.str "<title>Counterexample: %s</title>\n" (html_escape t.broken));
-  add
-    "<style>\n\
+   timestamps — the same analysis renders the same bytes.  [html_page]
+   is the shared shell; the kill-matrix renderer in lib/mutate reuses it
+   (with [extra_style] for its table rules). *)
+let html_page ?(extra_style = "") ~title body =
+  Fmt.str
+    "<!DOCTYPE html>\n\
+     <html lang=\"en\">\n\
+     <head>\n\
+     <meta charset=\"utf-8\">\n\
+     <title>%s</title>\n\
+     <style>\n\
      body { font-family: sans-serif; margin: 2em; max-width: 100em; }\n\
      pre { background: #f6f6f6; border: 1px solid #ddd; padding: 1em; overflow-x: auto; }\n\
      h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 2em; }\n\
      .broken { color: #b00020; }\n\
      details summary { cursor: pointer; margin-top: 2em; }\n\
-     </style>\n</head>\n<body>\n";
+     %s</style>\n\
+     </head>\n\
+     <body>\n\
+     %s</body>\n\
+     </html>\n"
+    (html_escape title) extra_style body
+
+let html ?last t =
+  let b = Buffer.create 16384 in
+  let add = Buffer.add_string b in
   add (Fmt.str "<h1>Counterexample forensics: <span class=\"broken\">%s</span></h1>\n"
          (html_escape t.broken));
   add "<h2>Explanation</h2>\n<pre>";
@@ -306,8 +318,8 @@ let html ?last t =
   add (html_escape (narrative t));
   add "</pre>\n<details><summary>Structured report (JSON)</summary>\n<pre>";
   add (html_escape (Obs.Json.to_string_pretty (to_json t)));
-  add "</pre>\n</details>\n</body>\n</html>\n";
-  Buffer.contents b
+  add "</pre>\n</details>\n";
+  html_page ~title:(Fmt.str "Counterexample: %s" t.broken) (Buffer.contents b)
 
 let write_html ?last path t =
   let oc = open_out path in

@@ -47,8 +47,18 @@ val to_json : t -> Obs.Json.t
 (** Structured report: witnesses, per-step events and changes, and the
     initial and final snapshots. *)
 
+val html_escape : string -> string
+(** Escape [&], [<] and [>] for embedding in HTML text nodes. *)
+
+val html_page : ?extra_style:string -> title:string -> string -> string
+(** The shared self-contained page shell (inline CSS, no external assets,
+    no timestamps): wraps a body fragment into a complete document.
+    [extra_style] appends CSS rules — the campaign kill-matrix renderer
+    in [lib/mutate] reuses the shell this way. *)
+
 val html : ?last:int -> t -> string
 (** Self-contained HTML page (inline CSS, no external assets, no
     timestamps). *)
 
 val write_html : ?last:int -> string -> t -> unit
+(** Write {!html} to a file. *)

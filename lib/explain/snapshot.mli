@@ -6,6 +6,7 @@
 type color = White | Grey | Black
 
 val color_name : color -> string
+(** Lower-case rendering: ["white"], ["grey"], ["black"]. *)
 
 type obj = {
   o_ref : Core.Types.rf;
@@ -34,12 +35,20 @@ type t = {
 }
 
 val capture : Core.Config.t -> step:int -> Core.Model.sys -> t
+(** Project one global model state into a snapshot.  Colours follow the
+    paper's tricolor reading: grey = honorary ghost grey or on some
+    work-list; otherwise black iff the raw mark bit equals f_M. *)
+
 val color_of : t -> Core.Types.rf -> color option
+(** The snapshot colour of an allocated reference; [None] if free. *)
 
 (** Why a reference is grey: a ghost honorary grey (with owner), or
     membership of some process's work-list. *)
 type grey_via = Via_ghg of int | Via_wl of int
 
 val grey_via : t -> Core.Types.rf -> grey_via option
+(** Attribution for a grey reference; [None] if it is not grey. *)
 
 val to_json : t -> Obs.Json.t
+(** Structured rendering of every snapshot field, as embedded in the
+    initial/final state blocks of {!Report.to_json}. *)

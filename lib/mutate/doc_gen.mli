@@ -1,0 +1,17 @@
+(** Generators for the two reference manuals.
+
+    Pure functions of the catalogues — no clocks, no environment — so the
+    output is byte-stable; CI regenerates and diffs against the committed
+    [docs/INVARIANTS.md] / [docs/VARIANTS.md], and the test suite does the
+    same locally. *)
+
+val invariants_md : unit -> string
+(** [docs/INVARIANTS.md]: every invariant's kind, paper locus, informal
+    statement, conjunct table, and code location — rendered from the
+    [paper] / [conjuncts] metadata on {!Core.Invariants.t}. *)
+
+val variants_md : unit -> string
+(** [docs/VARIANTS.md]: every {!Core.Variants.t} (expectation,
+    description, how to run — ablations get their minimal-witness command
+    line) and the whole mutation-operator catalogue with
+    expected-equivalent rationales. *)

@@ -1,0 +1,358 @@
+(* The campaign's summary artifacts: aggregate statistics, a JSON report,
+   and a self-contained HTML kill-matrix.
+
+   The matrix has one row per mutant and one column per invariant (the
+   full catalogue, so absent columns are visible as absence); a cell names
+   the failing conjunct when that mutant's kill violated that invariant.
+   The headline adequacy number is computed over the *armed* fence and
+   barrier mutants — the sites the static analysis in [Operators] marks
+   load-bearing; expected-equivalent mutants are scored separately (a kill
+   there is an "unexpected outcome" that falsifies the analysis, and is
+   reported as such rather than celebrated). *)
+
+type family_row = {
+  family : string;
+  total : int;
+  armed : int;  (* not expected_equivalent *)
+  killed : int;
+  armed_killed : int;
+  survived_closed : int;
+  survived_open : int;
+  errored : int;
+}
+
+type stats = {
+  total : int;
+  killed : int;
+  survived : int;
+  errored : int;
+  armed : int;
+  armed_killed : int;
+  ablations_total : int;
+  ablations_killed : int;
+  headline_armed : int;
+  headline_killed : int;
+  families : family_row list;
+  unexpected_kills : string list;
+  unexpected_survivors : string list;
+}
+
+let is_killed (e : Campaign.entry) =
+  match e.Campaign.classification with Campaign.Killed _ -> true | _ -> false
+
+(* drop-fence + elide-barrier: the families the acceptance criterion
+   ("single-fence / single-barrier mutants") ranges over. *)
+let headline_family f = f = "drop-fence" || f = "elide-barrier"
+
+let family_stats fam entries =
+  let es = List.filter (fun (e : Campaign.entry) -> e.Campaign.mutant.Campaign.operator = fam) entries in
+  let count p = List.length (List.filter p es) in
+  {
+    family = fam;
+    total = List.length es;
+    armed = count (fun e -> not e.Campaign.mutant.Campaign.expected_equivalent);
+    killed = count is_killed;
+    armed_killed = count (fun e -> is_killed e && not e.Campaign.mutant.Campaign.expected_equivalent);
+    survived_closed =
+      count (fun e ->
+          match e.Campaign.classification with Campaign.Survived { closed } -> closed | _ -> false);
+    survived_open =
+      count (fun e ->
+          match e.Campaign.classification with
+          | Campaign.Survived { closed } -> not closed
+          | _ -> false);
+    errored =
+      count (fun e ->
+          match e.Campaign.classification with Campaign.Errored _ -> true | _ -> false);
+  }
+
+let stats (o : Campaign.outcome) =
+  let entries = o.Campaign.entries in
+  let count p = List.length (List.filter p entries) in
+  let fams =
+    (* catalogue order, then "variant"; only families that fielded mutants *)
+    List.filter
+      (fun (r : family_row) -> r.total > 0)
+      (List.map (fun f -> family_stats f entries) (Operators.families @ [ "variant" ]))
+  in
+  let armed (e : Campaign.entry) = not e.Campaign.mutant.Campaign.expected_equivalent in
+  let headline (e : Campaign.entry) =
+    headline_family e.Campaign.mutant.Campaign.operator && armed e
+  in
+  let ablation (e : Campaign.entry) = e.Campaign.mutant.Campaign.operator = "variant" in
+  {
+    total = List.length entries;
+    killed = count is_killed;
+    survived =
+      count (fun e ->
+          match e.Campaign.classification with Campaign.Survived _ -> true | _ -> false);
+    errored =
+      count (fun e ->
+          match e.Campaign.classification with Campaign.Errored _ -> true | _ -> false);
+    armed = count armed;
+    armed_killed = count (fun e -> armed e && is_killed e);
+    ablations_total = count ablation;
+    ablations_killed = count (fun e -> ablation e && is_killed e);
+    headline_armed = count headline;
+    headline_killed = count (fun e -> headline e && is_killed e);
+    families = fams;
+    unexpected_kills =
+      List.filter_map
+        (fun (e : Campaign.entry) ->
+          if e.Campaign.mutant.Campaign.expected_equivalent && is_killed e then
+            Some e.Campaign.mutant.Campaign.name
+          else None)
+        entries;
+    unexpected_survivors =
+      List.filter_map
+        (fun (e : Campaign.entry) ->
+          if (not e.Campaign.mutant.Campaign.expected_equivalent) && not (is_killed e) then
+            Some e.Campaign.mutant.Campaign.name
+          else None)
+        entries;
+  }
+
+let rate num den = if den = 0 then 1.0 else float_of_int num /. float_of_int den
+
+(* -- JSON ------------------------------------------------------------------ *)
+
+let entry_json (e : Campaign.entry) =
+  let m = e.Campaign.mutant in
+  Obs.Json.Obj
+    ([
+       ("mutant", Obs.Json.String m.Campaign.name);
+       ("operator", Obs.Json.String m.Campaign.operator);
+       ("site", Obs.Json.String m.Campaign.site);
+       ("doc", Obs.Json.String m.Campaign.doc);
+       ("expected_equivalent", Obs.Json.Bool m.Campaign.expected_equivalent);
+     ]
+    @ Campaign.classification_fields e.Campaign.classification
+    @ [
+        ("states_total", Obs.Json.Int e.Campaign.states_total);
+        ("elapsed_total", Obs.Json.Float e.Campaign.elapsed_total);
+        ( "runs",
+          Obs.Json.List
+            (List.map
+               (fun (r : Campaign.run) ->
+                 Obs.Json.Obj
+                   [
+                     ("scenario", Obs.Json.String r.Campaign.run_scenario);
+                     ("states", Obs.Json.Int r.Campaign.run_states);
+                     ("elapsed", Obs.Json.Float r.Campaign.run_elapsed);
+                     ("truncated", Obs.Json.Bool r.Campaign.run_truncated);
+                   ])
+               e.Campaign.runs) );
+      ])
+
+let matrix_row invariants (e : Campaign.entry) =
+  let cell (inv : Core.Invariants.t) =
+    match e.Campaign.classification with
+    | Campaign.Killed k when k.Campaign.invariant = inv.Core.Invariants.name ->
+      (inv.Core.Invariants.name, Obs.Json.String k.Campaign.conjunct)
+    | _ -> (inv.Core.Invariants.name, Obs.Json.Null)
+  in
+  Obs.Json.Obj
+    [
+      ("mutant", Obs.Json.String e.Campaign.mutant.Campaign.name);
+      ("cells", Obs.Json.Obj (List.map cell invariants));
+    ]
+
+let stats_json s =
+  let fam r =
+    Obs.Json.Obj
+      [
+        ("family", Obs.Json.String r.family);
+        ("total", Obs.Json.Int r.total);
+        ("armed", Obs.Json.Int r.armed);
+        ("killed", Obs.Json.Int r.killed);
+        ("armed_killed", Obs.Json.Int r.armed_killed);
+        ("survived_closed", Obs.Json.Int r.survived_closed);
+        ("survived_open", Obs.Json.Int r.survived_open);
+        ("errored", Obs.Json.Int r.errored);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("total", Obs.Json.Int s.total);
+      ("killed", Obs.Json.Int s.killed);
+      ("survived", Obs.Json.Int s.survived);
+      ("errored", Obs.Json.Int s.errored);
+      ("armed", Obs.Json.Int s.armed);
+      ("armed_killed", Obs.Json.Int s.armed_killed);
+      ("armed_kill_rate", Obs.Json.Float (rate s.armed_killed s.armed));
+      ("ablations_total", Obs.Json.Int s.ablations_total);
+      ("ablations_killed", Obs.Json.Int s.ablations_killed);
+      ("headline_armed", Obs.Json.Int s.headline_armed);
+      ("headline_killed", Obs.Json.Int s.headline_killed);
+      ("headline_kill_rate", Obs.Json.Float (rate s.headline_killed s.headline_armed));
+      ("families", Obs.Json.List (List.map fam s.families));
+      ("unexpected_kills", Obs.Json.List (List.map (fun n -> Obs.Json.String n) s.unexpected_kills));
+      ( "unexpected_survivors",
+        Obs.Json.List (List.map (fun n -> Obs.Json.String n) s.unexpected_survivors) );
+    ]
+
+let to_json (o : Campaign.outcome) =
+  let s = stats o in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "relaxing-safely-campaign-v1");
+      ("budget", Obs.Json.Int o.Campaign.budget);
+      ("jobs", Obs.Json.Int o.Campaign.jobs);
+      ("reduce", Obs.Json.String (Reduce.Mode.to_string o.Campaign.reduce));
+      ( "scenarios",
+        Obs.Json.List (List.map (fun l -> Obs.Json.String l) o.Campaign.scenario_labels) );
+      ("summary", stats_json s);
+      ("entries", Obs.Json.List (List.map entry_json o.Campaign.entries));
+      ( "matrix",
+        Obs.Json.List (List.map (matrix_row o.Campaign.invariants) o.Campaign.entries) );
+    ]
+
+let write_json path o =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Obs.Json.to_string_pretty (to_json o));
+      Out_channel.output_string oc "\n")
+
+(* -- Text summary ---------------------------------------------------------- *)
+
+let summary (o : Campaign.outcome) =
+  let s = stats o in
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "campaign: %d mutants — %d killed, %d survived, %d errored\n" s.total s.killed s.survived
+    s.errored;
+  add "  armed (non-equivalent): %d/%d killed (%.0f%%)\n" s.armed_killed s.armed
+    (100. *. rate s.armed_killed s.armed);
+  add "  fence+barrier armed:    %d/%d killed (%.0f%%)\n" s.headline_killed s.headline_armed
+    (100. *. rate s.headline_killed s.headline_armed);
+  add "  ablations:              %d/%d killed\n" s.ablations_killed s.ablations_total;
+  List.iter
+    (fun r ->
+      add "  %-16s %2d mutants, %2d armed, %2d killed, %d closed, %d open, %d errors\n" r.family
+        r.total r.armed r.killed r.survived_closed r.survived_open r.errored)
+    s.families;
+  List.iter (fun n -> add "  UNEXPECTED KILL (expected equivalent): %s\n" n) s.unexpected_kills;
+  List.iter (fun n -> add "  UNEXPECTED SURVIVOR (armed): %s\n" n) s.unexpected_survivors;
+  Buffer.contents b
+
+(* -- HTML ------------------------------------------------------------------ *)
+
+let matrix_style =
+  "table{border-collapse:collapse;margin:1em 0}\n\
+   th,td{border:1px solid #ccc;padding:3px 7px;font-size:13px}\n\
+   th{background:#f0f0f3;text-align:left}\n\
+   th.col{writing-mode:vertical-rl;transform:rotate(180deg);text-align:left;\n\
+   font-weight:normal;font-size:11px;padding:6px 2px}\n\
+   td.kill{background:#c62828;color:#fff;text-align:center;font-weight:bold}\n\
+   td.none{background:#fafafa}\n\
+   tr.equiv td.name{color:#888;font-style:italic}\n\
+   td.survived{background:#ffe082;text-align:center}\n\
+   td.closed{background:#a5d6a7;text-align:center}\n\
+   td.error{background:#9575cd;color:#fff;text-align:center}\n\
+   .stub{background:#f7f7f9;border:1px solid #ddd;border-radius:4px;\n\
+   padding:0.8em 1em;margin:0.8em 0;white-space:pre-wrap;font-family:monospace;\n\
+   font-size:12px}\n"
+
+let esc = Explain.Report.html_escape
+
+let to_html (o : Campaign.outcome) =
+  let s = stats o in
+  let b = Buffer.create 8192 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "<h1>Mutation campaign kill-matrix</h1>\n";
+  add "<p>budget %d states/run &middot; jobs %d &middot; reduce %s &middot; scenarios: %s</p>\n"
+    o.Campaign.budget o.Campaign.jobs
+    (Reduce.Mode.to_string o.Campaign.reduce)
+    (esc (String.concat ", " o.Campaign.scenario_labels));
+  add "<h2>Summary</h2>\n<table>\n";
+  add "<tr><th>population</th><th>killed</th><th>total</th><th>rate</th></tr>\n";
+  add "<tr><td>all mutants</td><td>%d</td><td>%d</td><td>%.0f%%</td></tr>\n" s.killed s.total
+    (100. *. rate s.killed s.total);
+  add "<tr><td>armed (non-equivalent)</td><td>%d</td><td>%d</td><td>%.0f%%</td></tr>\n"
+    s.armed_killed s.armed
+    (100. *. rate s.armed_killed s.armed);
+  add "<tr><td>fence+barrier armed</td><td>%d</td><td>%d</td><td>%.0f%%</td></tr>\n"
+    s.headline_killed s.headline_armed
+    (100. *. rate s.headline_killed s.headline_armed);
+  add "<tr><td>hand-written ablations</td><td>%d</td><td>%d</td><td>%.0f%%</td></tr>\n"
+    s.ablations_killed s.ablations_total
+    (100. *. rate s.ablations_killed s.ablations_total);
+  add "</table>\n";
+  if s.unexpected_kills <> [] || s.unexpected_survivors <> [] then begin
+    add "<h2>Unexpected outcomes</h2>\n<ul>\n";
+    List.iter
+      (fun n ->
+        add
+          "<li><b>%s</b> was predicted equivalent but was killed — the buffer-emptiness \
+           analysis is wrong at this site.</li>\n"
+          (esc n))
+      s.unexpected_kills;
+    List.iter
+      (fun n -> add "<li><b>%s</b> was armed but survived — see the triage below.</li>\n" (esc n))
+      s.unexpected_survivors;
+    add "</ul>\n"
+  end;
+  (* the matrix proper: only invariant columns that registered a kill, to
+     keep the table readable; the JSON report has the full grid *)
+  let killed_invs =
+    List.filter
+      (fun (inv : Core.Invariants.t) ->
+        List.exists
+          (fun (e : Campaign.entry) ->
+            match e.Campaign.classification with
+            | Campaign.Killed k -> k.Campaign.invariant = inv.Core.Invariants.name
+            | _ -> false)
+          o.Campaign.entries)
+      o.Campaign.invariants
+  in
+  add "<h2>Kill-matrix</h2>\n";
+  add
+    "<p>Rows: mutants (<i>italic</i> = predicted equivalent).  Columns: the invariants that \
+     registered kills (of %d checked).  A red cell names the failing conjunct; the verdict \
+     column distinguishes closed survivors (state space exhausted — equivalence at these \
+     bounds) from open ones (budget exhausted).</p>\n"
+    (List.length o.Campaign.invariants);
+  add "<table>\n<tr><th>mutant</th><th>verdict</th>";
+  List.iter (fun (inv : Core.Invariants.t) -> add "<th class=\"col\">%s</th>" (esc inv.Core.Invariants.name)) killed_invs;
+  add "</tr>\n";
+  List.iter
+    (fun (e : Campaign.entry) ->
+      let m = e.Campaign.mutant in
+      add "<tr%s><td class=\"name\" title=\"%s\">%s</td>"
+        (if m.Campaign.expected_equivalent then " class=\"equiv\"" else "")
+        (esc m.Campaign.doc) (esc m.Campaign.name);
+      (match e.Campaign.classification with
+      | Campaign.Killed k ->
+        add "<td class=\"kill\" title=\"scenario %s, %d states, %.2fs\">killed (ce %d)</td>"
+          (esc k.Campaign.scenario) k.Campaign.states_to_kill k.Campaign.time_to_kill
+          k.Campaign.ce_length
+      | Campaign.Survived { closed = true } -> add "<td class=\"closed\">survived (closed)</td>"
+      | Campaign.Survived { closed = false } -> add "<td class=\"survived\">survived (budget)</td>"
+      | Campaign.Errored msg -> add "<td class=\"error\" title=\"%s\">error</td>" (esc msg));
+      List.iter
+        (fun (inv : Core.Invariants.t) ->
+          match e.Campaign.classification with
+          | Campaign.Killed k when k.Campaign.invariant = inv.Core.Invariants.name ->
+            add "<td class=\"kill\">%s</td>" (esc k.Campaign.conjunct)
+          | _ -> add "<td class=\"none\"></td>")
+        killed_invs;
+      add "</tr>\n")
+    o.Campaign.entries;
+  add "</table>\n";
+  (* survivor triage stubs, inline *)
+  let survivors =
+    List.filter
+      (fun (e : Campaign.entry) ->
+        match e.Campaign.classification with Campaign.Survived _ -> true | _ -> false)
+      o.Campaign.entries
+  in
+  if survivors <> [] then begin
+    add "<h2>Survivor triage</h2>\n";
+    List.iter
+      (fun e -> add "<div class=\"stub\">%s</div>\n" (esc (Campaign.triage_stub e)))
+      survivors
+  end;
+  Explain.Report.html_page ~extra_style:matrix_style ~title:"Mutation campaign kill-matrix"
+    (Buffer.contents b)
+
+let write_html path o =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (to_html o))

@@ -1,0 +1,244 @@
+(* The catalogue of syntactic mutation operators: every single-site
+   perturbation of the model programs the campaign can enumerate, with the
+   static analysis of which sites are load-bearing.
+
+   A mutant is a [Config.mutation] plus bookkeeping: a stable name, the
+   operator family, the mutated program point, and an [expected_equivalent]
+   verdict with its rationale.  Expected-equivalent mutants are the fence
+   sites where the owning process's store buffer is provably empty in every
+   reachable state at that point — an MFENCE there is a no-op (Sys serves
+   Req_mfence exactly when the buffer is empty), so dropping it cannot
+   change the transition system.  The campaign still runs them: a kill on
+   one would falsify the analysis (and the TSO encoding), which is itself a
+   cross-check.
+
+   The armed (non-equivalent) drop-fence sites come out as exactly the four
+   store fences in front of the initialization handshakes — the four
+   MFENCEs Section 2.4 requires of the pthread primitives. *)
+
+type t = {
+  name : string;  (* stable mutant id: "<operator>:<site>" *)
+  operator : string;  (* operator family, one of [families] *)
+  site : string;  (* the mutated program point (label or prefix) *)
+  doc : string;
+  expected_equivalent : bool;
+  rationale : string;  (* why the site is load-bearing / provably inert *)
+  mutation : Core.Config.mutation;
+}
+
+let families =
+  [
+    "drop-fence"; "weaken-cas"; "elide-barrier"; "skip-hs-wait"; "swap-mark-loads";
+    "alloc-color-off";
+  ]
+
+let make operator site doc ~equiv ~why mutation =
+  {
+    name = Core.Config.mutation_name mutation;
+    operator;
+    site;
+    doc;
+    expected_equivalent = equiv;
+    rationale = why;
+    mutation;
+  }
+
+let tweak m cfg = { cfg with Core.Config.mutation = Some m.mutation }
+
+(* The handshake rounds present under [cfg], in protocol order. *)
+let hs_tags (cfg : Core.Config.t) =
+  if cfg.skip_init_handshakes then [ "hs1"; "hs4"; "hs-roots"; "hs-work" ]
+  else [ "hs1"; "hs2"; "hs3"; "hs4"; "hs-roots"; "hs-work" ]
+
+(* Mark-operation expansions present under [cfg]: (prefix, description).
+   The collector's scan loop and the mutator's root marking always exist;
+   the barrier expansions only when the barrier (and the store operation
+   hosting it) is in the program. *)
+let mark_sites (cfg : Core.Config.t) =
+  [ ("gc:mark", "the collector's field-scan mark (Fig. 2 line 28)") ]
+  @ (if cfg.deletion_barrier && cfg.mut_store then
+       [ ("mut:bar-del", "the deletion barrier's mark (Fig. 6 line 8)") ]
+     else [])
+  @ (if cfg.insertion_barrier && cfg.mut_store then
+       [ ("mut:bar-ins", "the insertion barrier's mark (Fig. 6 line 9)") ]
+     else [])
+  @ [ ("mut:root-mark", "the get-roots handshake's root mark (Fig. 2 line 17)") ]
+
+let drop_fence_mutants (cfg : Core.Config.t) =
+  if not cfg.handshake_fences then []
+  else begin
+    let gc tag side =
+      let lbl = Printf.sprintf "gc:%s:%s-fence" tag side in
+      let equiv, why =
+        match side with
+        | "load" ->
+          ( true,
+            "the collector issues no buffered write between this round's store fence and \
+             its end, so its buffer is provably empty here" )
+        | _ -> (
+          match tag with
+          | "hs1" when cfg.max_cycles = 1 ->
+            ( true,
+              "armed only across a cycle boundary (it flushes the previous cycle's \
+               phase := Idle write); with a single bounded cycle the buffer is empty here" )
+          | "hs1" ->
+            ( false,
+              "flushes the previous cycle's phase := Idle write before the idle-sync round \
+               (kills via phase-span-nop1 from the second cycle on)" )
+          | "hs2" ->
+            (false, "flushes the sense flip f_M write before the round (Section 2.4 MFENCE)")
+          | "hs3" ->
+            (false, "flushes the phase := Init write before the round (Section 2.4 MFENCE)")
+          | "hs4" ->
+            ( false,
+              "flushes the phase := Mark and f_A := f_M writes before the round \
+               (Section 2.4 MFENCE)" )
+          | _ ->
+            ( true,
+              "the preceding handshake's fences already drained the buffer and the \
+               collector's CAS retires (unlock drains) during marking, so the buffer is \
+               provably empty here" ))
+      in
+      make "drop-fence" lbl
+        (Printf.sprintf "drop the collector's %s fence of the %s round" side tag)
+        ~equiv ~why
+        (Core.Config.Drop_fence lbl)
+    in
+    let mut side =
+      let lbl = Printf.sprintf "mut:hs-%s-fence" side in
+      let why =
+        match side with
+        | "load" ->
+          "only delays the flush of the mutator's pending field writes: the first CAS \
+           unlock inside the round drains them in the same order, and the collector reads \
+           no field during a round"
+        | _ ->
+          "the round's work ends in CAS unlocks (which drain) or does not store at all, \
+           and the entry load fence already drained the pre-round writes"
+      in
+      make "drop-fence" lbl
+        (Printf.sprintf "drop the mutator's handshake %s fence" side)
+        ~equiv:true ~why
+        (Core.Config.Drop_fence lbl)
+    in
+    List.concat_map (fun tag -> [ gc tag "store"; gc tag "load" ]) (hs_tags cfg)
+    @ [ mut "load"; mut "store" ]
+  end
+
+let weaken_cas_mutants (cfg : Core.Config.t) =
+  if not cfg.cas_mark then []
+  else
+    List.map
+      (fun (prefix, what) ->
+        make "weaken-cas" prefix
+          (Printf.sprintf "drop the LOCK around %s, leaving an unlocked test-and-set" what)
+          ~equiv:false
+          ~why:
+            "two markers can both win the race on one reference and grey it twice \
+             (grey-ownership-exclusive); marks stay idempotent so safety may survive"
+          (Core.Config.Weaken_cas prefix))
+      (mark_sites cfg)
+
+let elide_barrier_mutants (cfg : Core.Config.t) =
+  (if cfg.deletion_barrier && cfg.mut_store then
+     [
+       make "elide-barrier" "del" "skip the deletion barrier instance (Fig. 6 line 8)"
+         ~equiv:false
+         ~why:
+           "a post-snapshot overwrite of an unmarked reference hides it from the wavefront \
+            (deletions-marked, then the Fig. 1 safety violation)"
+         (Core.Config.Elide_barrier "del");
+     ]
+   else [])
+  @
+  if cfg.insertion_barrier && cfg.mut_store then
+    [
+      make "elide-barrier" "ins" "skip the insertion barrier instance (Fig. 6 line 9)"
+        ~equiv:false
+        ~why:
+          "a store behind the wavefront installs an unmarked reference into a black object \
+           (insertions-marked, then the safety violation)"
+        (Core.Config.Elide_barrier "ins");
+    ]
+  else []
+
+let skip_hs_wait_mutants (cfg : Core.Config.t) =
+  List.map
+    (fun tag ->
+      let equiv, why =
+        match tag with
+        | "hs-roots" ->
+          ( false,
+            "the collector sweeps without waiting for the mutators' roots: live objects \
+             are freed (free_only_garbage)" )
+        | "hs-work" ->
+          ( false,
+            "the collector can exit the mark loop while a mutator still holds grey work \
+             and sweep it" )
+        | "hs2" | "hs3" ->
+          ( true,
+            "the middle nop rounds only order the sense flip / phase write against the \
+             mutators' next round; Observation 1 removes both rounds wholesale on TSO, and \
+             rushing the wait is strictly weaker than removing the round (confirmed: the \
+             campaign closes these state spaces with no violation)" )
+        | _ ->
+          ( false,
+            "degenerates the rendezvous to a broadcast: the collector runs ahead into a \
+             phase some mutator has not acknowledged (kills via the phase-span conjuncts \
+             or the snapshot invariant)" )
+      in
+      make "skip-hs-wait" tag
+        (Printf.sprintf "signal the %s round but do not wait for the acks" tag)
+        ~equiv ~why
+        (Core.Config.Skip_hs_wait tag))
+    (hs_tags cfg)
+
+let swap_mark_loads_mutants (cfg : Core.Config.t) =
+  List.map
+    (fun (prefix, what) ->
+      make "swap-mark-loads" prefix
+        (Printf.sprintf "in %s, load the mark flag before f_M (Fig. 5 lines 2-3 reversed)" what)
+        ~equiv:true
+        ~why:
+          "the swapped order reads f_M strictly later, so the sense the CAS marks with is \
+           at least as fresh as in the paper's order, and the LOCK'd compare re-reads the \
+           flag at commit; the paper's order is a convention, not load-bearing (confirmed: \
+           the campaign closes these state spaces with no violation)"
+        (Core.Config.Swap_mark_loads prefix))
+    (mark_sites cfg)
+
+let alloc_color_mutants (cfg : Core.Config.t) =
+  if not cfg.mut_alloc then []
+  else
+    [
+      make "alloc-color-off" "mut:alloc" "allocate with the opposite of the allocation color"
+        ~equiv:false
+        ~why:
+          "objects allocated during marking come out white and are swept while rooted \
+           (the alloc-white ablation at single-site grain)"
+        Core.Config.Alloc_color_off;
+    ]
+
+let all cfg =
+  drop_fence_mutants cfg @ weaken_cas_mutants cfg @ elide_barrier_mutants cfg
+  @ skip_hs_wait_mutants cfg @ swap_mark_loads_mutants cfg @ alloc_color_mutants cfg
+
+let of_family cfg fam = List.filter (fun m -> m.operator = fam) (all cfg)
+let by_name cfg n = List.find_opt (fun m -> m.name = n) (all cfg)
+
+(* Is [m]'s site present in the programs built from [cfg]?  Scenario
+   configurations vary the op repertoire and handshake structure, so a
+   mutant enumerated against one configuration can be inert on another;
+   the campaign skips those runs rather than exploring a baseline space. *)
+let applies m (cfg : Core.Config.t) =
+  match m.mutation with
+  | Core.Config.Drop_fence lbl ->
+    cfg.handshake_fences
+    && (String.length lbl < 3 || String.sub lbl 0 3 <> "gc:"
+        || List.exists (fun tag -> lbl = "gc:" ^ tag ^ ":store-fence" || lbl = "gc:" ^ tag ^ ":load-fence") (hs_tags cfg))
+  | Core.Config.Weaken_cas p -> cfg.cas_mark && List.mem_assoc p (mark_sites cfg)
+  | Core.Config.Swap_mark_loads p -> List.mem_assoc p (mark_sites cfg)
+  | Core.Config.Elide_barrier "del" -> cfg.deletion_barrier && cfg.mut_store
+  | Core.Config.Elide_barrier _ -> cfg.insertion_barrier && cfg.mut_store
+  | Core.Config.Skip_hs_wait tag -> List.mem tag (hs_tags cfg)
+  | Core.Config.Alloc_color_off -> cfg.mut_alloc

@@ -1,0 +1,47 @@
+(** The catalogue of syntactic mutation operators over the model programs.
+
+    Each mutant perturbs exactly one program point — drop one MFENCE,
+    unlock one CAS, skip one barrier instance, rush one handshake wait,
+    reorder one mark operation's first two loads, flip the allocation
+    color — and is an ordinary {!Core.Config.t} tweak, so it composes with
+    {!Core.Variants.t} and with the reduction subsystem.
+
+    The enumeration also carries the static analysis of which sites are
+    load-bearing: [expected_equivalent] marks the sites where the mutation
+    provably (or, for the Observation-1-adjacent handshake waits and the
+    mark-load swap, arguably — and confirmed by closed campaign runs)
+    cannot change the observable transition system.  For fences that means
+    the owning process's store buffer is empty in every reachable state at
+    that point, so the MFENCE is a no-op.  The armed drop-fence sites come
+    out as exactly the four store fences in front of the initialization
+    handshakes — the four MFENCEs the paper's Section 2.4 requires. *)
+
+type t = {
+  name : string;  (** stable mutant id: ["<operator>:<site>"] *)
+  operator : string;  (** operator family, one of {!families} *)
+  site : string;  (** the mutated program point (label or prefix) *)
+  doc : string;  (** one-line description of the perturbation *)
+  expected_equivalent : bool;
+      (** provably inert at this configuration: the campaign expects a
+          survivor, and a kill falsifies the analysis *)
+  rationale : string;  (** why the site is load-bearing / provably inert *)
+  mutation : Core.Config.mutation;
+}
+
+val families : string list
+
+val tweak : t -> Core.Config.t -> Core.Config.t
+(** Arm the mutant: set [cfg.mutation]. *)
+
+val all : Core.Config.t -> t list
+(** Every mutant applicable to the programs built from this
+    configuration, in catalogue order. *)
+
+val of_family : Core.Config.t -> string -> t list
+val by_name : Core.Config.t -> string -> t option
+
+val applies : t -> Core.Config.t -> bool
+(** Is the mutated program point present in the programs built from
+    [cfg]?  Scenario configurations vary the op repertoire, so a mutant
+    enumerated against one configuration can be inert on another; the
+    campaign skips those runs. *)

@@ -44,3 +44,5 @@ val errors : ?allow_longer_ce:bool -> result -> string list
 val ok : ?allow_longer_ce:bool -> result -> bool
 
 val pp : result Fmt.t
+(** One-line rendering: state/transition counts for both runs and the
+    verdict agreement, for the cross-check harness's progress output. *)

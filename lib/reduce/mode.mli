@@ -7,6 +7,7 @@ type t =
   | All  (** both *)
 
 val to_string : t -> string
+(** The flag spelling: ["none"], ["sym"], ["por"], ["all"]. *)
 
 (** Inverse of {!to_string}; [Error] carries a usage message. *)
 val of_string : string -> (t, string) result
@@ -18,3 +19,4 @@ val doc : string
 val all_modes : t list
 
 val pp : t Fmt.t
+(** Pretty-printer via {!to_string}. *)

@@ -13,4 +13,5 @@ let () =
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
       ("explain", Test_explain.suite);
+      ("mutate", Test_mutate.suite);
     ]
