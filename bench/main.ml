@@ -236,12 +236,28 @@ let checker_par () =
       float_of_int o.Check.Explore.states /. o.Check.Explore.elapsed
     else 0.
   in
-  let seq = Core.Scenario.explore sc in
+  (* run through a memory reporter so the parallel runs' scaling-detail
+     record (serial fraction, lock and barrier waits — see Par_explore)
+     lands in the report next to the measured speedup it predicts *)
+  let explore_with_detail jobs =
+    let obs, snapshot = Obs.Reporter.memory () in
+    let o = Core.Scenario.explore ~jobs ~obs sc in
+    let detail =
+      List.find_opt
+        (fun r ->
+          match Obs.Json.member "event" r with
+          | Some (Obs.Json.String "scaling-detail") -> true
+          | _ -> false)
+        (snapshot ())
+    in
+    (o, Option.value detail ~default:Obs.Json.Null)
+  in
+  let seq, _ = explore_with_detail 1 in
   let seq_rate = rate seq in
   let rows =
     List.map
       (fun jobs ->
-        let o = if jobs = 1 then seq else Core.Scenario.explore ~jobs sc in
+        let o, detail = if jobs = 1 then (seq, Obs.Json.Null) else explore_with_detail jobs in
         let r = rate o in
         let speedup = if seq_rate > 0. then r /. seq_rate else 0. in
         Fmt.pr "  %-44s %12.0f states/s  %5.2fx@."
@@ -258,6 +274,7 @@ let checker_par () =
             ("elapsed_s", Obs.Json.Float o.Check.Explore.elapsed);
             ("states_per_sec", Obs.Json.Float r);
             ("speedup_vs_seq", Obs.Json.Float speedup);
+            ("scaling_detail", detail);
           ])
       checker_par_jobs
   in
@@ -368,20 +385,25 @@ let campaign_bench () =
    blocks.  Written next to the text output so perf PRs can diff
    BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
    revisions can write side by side. *)
-let bench_report_file = ref "BENCH_5.json"
+let bench_report_file = ref "BENCH_6.json"
 let force_gap = ref false
+let against_file : string option ref = ref None
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_5.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_6.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
         "  write the report even if earlier BENCH_<n>.json files in the series are missing" );
+      ( "--against",
+        Arg.String (fun f -> against_file := Some f),
+        "FILE  after writing, diff the new report against FILE (see `gcmodel benchdiff`); \
+         exits 1 on a regression past the noise threshold" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench [-o FILE] [--force]"
+    "bench [-o FILE] [--force] [--against FILE]"
 
 (* BENCH_<n>.json reports form a per-revision series that perf PRs diff
    pairwise; a missing predecessor is a silent hole those diffs then skip
@@ -433,11 +455,26 @@ let write_report groups checker checker_par checker_reduce campaign =
                rows) );
       ]
   in
+  (* provenance (schema v3): benchmark numbers are only comparable on the
+     same machine, and a diff against an unknown revision is uninterpretable
+     — benchdiff refuses cross-hostname comparisons outright *)
+  let git_commit =
+    try
+      let ic = Unix.open_process_in "git rev-parse HEAD 2>/dev/null" in
+      let line = try String.trim (input_line ic) with End_of_file -> "" in
+      match (Unix.close_process_in ic, line) with
+      | Unix.WEXITED 0, c when c <> "" -> c
+      | _ -> "unknown"
+    with _ -> "unknown"
+  in
   let report =
     Obs.Json.Obj
       [
-        ("schema", Obs.Json.String "relaxing-safely-bench-v2");
+        ("schema", Obs.Json.String "relaxing-safely-bench-v3");
         ("ocaml_version", Obs.Json.String Sys.ocaml_version);
+        ("git_commit", Obs.Json.String git_commit);
+        ("hostname", Obs.Json.String (Unix.gethostname ()));
+        ("domains_available", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
         ("groups", Obs.Json.List (List.map group_record groups));
         ("checker", checker);
@@ -480,4 +517,17 @@ let () =
   Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";
   let campaign = campaign_bench () in
   write_report groups checker checker_par checker_reduce campaign;
+  (match !against_file with
+  | None -> ()
+  | Some old_path -> (
+    Fmt.pr "=== benchdiff vs %s ===@." old_path;
+    match Obs.Benchcmp.compare_files ~old_path !bench_report_file with
+    | Error msg ->
+      Fmt.epr "benchdiff: %s@." msg;
+      exit 2
+    | Ok r ->
+      print_string
+        (Obs.Benchcmp.render ~old_name:(Filename.basename old_path)
+           ~new_name:(Filename.basename !bench_report_file) r);
+      if Obs.Benchcmp.has_regressions r then exit 1));
   Fmt.pr "done.@."

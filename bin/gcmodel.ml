@@ -116,6 +116,25 @@ let obs_term =
   in
   Term.(term_result' (const resolve $ spec))
 
+let trace_out_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline to $(docv) (load it in Perfetto or \
+           chrome://tracing): one lane per worker domain, with per-level slice, phase and \
+           barrier-wait spans (explore) or per-walker spans (walk).")
+
+(* finish the tracer and tell the user where the timeline went *)
+let close_trace tracer trace_out =
+  match Obs.Tracing.finish tracer ?out:trace_out () with
+  | None -> ()
+  | Some (events, drops) ->
+    Fmt.pr "trace: %d events written to %s%s@." events
+      (Option.value trace_out ~default:"?")
+      (if drops > 0 then Fmt.str " (%d dropped: ring full)" drops else "")
+
 (* --reduce / RELAXING_REDUCE.  The default differs per subcommand
    (explore: all — the reductions are proven-sound and the point of
    exhaustive closure is reach; walk: none — reduced walks sample a
@@ -195,49 +214,53 @@ let explain_violation ?last ~html ~obs cfg violation =
   | Some _, Some tr -> ignore (write_explanation ?last ~html ~obs cfg tr)
 
 let explore_cmd =
-  let run cv shape safety_only max_states jobs reduce explain obs =
+  let run cv shape safety_only max_states jobs reduce explain trace_out obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d reduce=%a@."
       v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
       cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs Reduce.Mode.pp reduce;
     let reducer = Core.Reduction.reducer cfg reduce in
+    let tracer = Obs.Tracing.resolve ?out:trace_out ~domains:(max 1 jobs) () in
     let o =
-      Check.Par_explore.run ~jobs ~max_states ~obs ?reducer
+      Check.Par_explore.run ~jobs ~max_states ~obs ~tracer ?reducer
         ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
     report cfg obs o.Check.Explore.violation;
     explain_violation ~html:explain ~obs cfg o.Check.Explore.violation;
+    close_trace tracer trace_out;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
-      $ reduce_term ~default:"all" $ explain_file $ obs_term)
+      $ reduce_term ~default:"all" $ explain_file $ trace_out_term $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
-  let run cv shape safety_only steps seed jobs reduce explain obs =
+  let run cv shape safety_only steps seed jobs reduce explain trace_out obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     Fmt.pr "random walk variant=%s shape=%s steps=%d seed=%d jobs=%d reduce=%a@."
       v.Core.Variants.name shape steps seed jobs Reduce.Mode.pp reduce;
     let reducer = Core.Reduction.reducer cfg reduce in
+    let tracer = Obs.Tracing.resolve ?out:trace_out ~domains:(max 1 jobs) () in
     let o =
-      Check.Random_walk.swarm ~jobs ~seed ~steps ~obs ?reducer
+      Check.Random_walk.swarm ~jobs ~seed ~steps ~obs ~tracer ?reducer
         ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Random_walk.pp_outcome o;
     report cfg obs o.Check.Random_walk.violation;
     explain_violation ~html:explain ~obs cfg o.Check.Random_walk.violation;
+    close_trace tracer trace_out;
     Obs.Reporter.close obs
   in
   Cmd.v (Cmd.info "walk" ~doc:"Randomized deep run with invariant checking.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ steps $ seed $ jobs
-      $ reduce_term ~default:"none" $ explain_file $ obs_term)
+      $ reduce_term ~default:"none" $ explain_file $ trace_out_term $ obs_term)
 
 let crosscheck_cmd =
   let run cv shape safety_only max_states reduce explain obs =
@@ -523,6 +546,47 @@ let campaign_cmd =
       const run $ operators $ budget $ muts $ jobs $ reduce_term ~default:"all" $ out $ html
       $ stubs $ list_only $ obs_term)
 
+(* -- bench regression gate (lib/obs/benchcmp) -------------------------------- *)
+
+let benchdiff_cmd =
+  let old_file = Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc:"Baseline BENCH report.") in
+  let new_file = Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc:"Candidate BENCH report.") in
+  let threshold =
+    Arg.(
+      value
+      & opt float Obs.Benchcmp.default_threshold
+      & info [ "threshold" ] ~docv:"FRAC"
+          ~doc:
+            "Noise band as a fraction: a metric has to move by more than $(docv) (in its \
+             bad direction) to count as a regression.")
+  in
+  let warn_only =
+    Arg.(
+      value
+      & flag
+      & info [ "warn-only" ]
+          ~doc:"Report regressions but exit 0 anyway (for advisory CI steps).")
+  in
+  let run old_path new_path threshold warn_only =
+    match Obs.Benchcmp.compare_files ~threshold ~old_path new_path with
+    | Error msg ->
+      Fmt.epr "benchdiff: %s@." msg;
+      exit 2
+    | Ok r ->
+      print_string
+        (Obs.Benchcmp.render ~old_name:(Filename.basename old_path)
+           ~new_name:(Filename.basename new_path) r);
+      if Obs.Benchcmp.has_regressions r && not warn_only then exit 1
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Diff two BENCH_<n>.json reports metric by metric (ns/run: lower is better; \
+          states/sec and steps/sec: higher is better) and classify each change against a \
+          noise threshold.  Exits 1 when any metric regressed past the threshold, 2 when \
+          the reports are not comparable (e.g. different machines).")
+    Term.(const run $ old_file $ new_file $ threshold $ warn_only)
+
 (* -- generated reference manuals (lib/mutate/doc_gen) ------------------------ *)
 
 let doc_invariants_cmd =
@@ -549,6 +613,7 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd; variants_cmd;
-            shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd; doc_variants_cmd;
+            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd; benchdiff_cmd;
+            variants_cmd; shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd;
+            doc_variants_cmd;
           ]))

@@ -63,7 +63,8 @@ let coverage_gaps sys ~covered =
    eagerly, so invariants are evaluated at atomic-action boundaries only.
    This is the evaluation-context atomicity coarsening of Section 3. *)
 let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
-    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
+    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000) ?reducer
+    ~invariants initial =
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
   let fp_of sys = Reducer.fp_of reducer sys in
   let initial = norm initial in
@@ -132,6 +133,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
         [
           ("checker", Obs.Json.String "explore");
           ("states", Obs.Json.Int !states);
+          ("max_states", Obs.Json.Int max_states);
           ("transitions", Obs.Json.Int !transitions);
           ("depth", Obs.Json.Int !depth);
           ("frontier", Obs.Json.Int (Queue.length q));
@@ -142,6 +144,28 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
         ];
       hb_states := !states;
       hb_time := now
+    end
+  in
+  (* the sequential explorer has one lane: a span per heartbeat interval
+     of expansion work, so the trace shows throughput phases over time *)
+  let tr_on = Obs.Tracing.enabled tracer && Obs.Tracing.lanes tracer >= 1 in
+  let n_expand = if tr_on then Obs.Tracing.intern tracer "expand" else 0 in
+  if tr_on then Obs.Tracing.set_lane tracer ~dom:0 "explore";
+  let tr_states = ref 0 in
+  let tr_start = ref (Obs.Tracing.now tracer) in
+  let trace_tick ~final () =
+    if tr_on && (!states - !tr_states >= heartbeat_every || (final && !states > !tr_states))
+    then begin
+      let now = Obs.Tracing.now tracer in
+      Obs.Tracing.span_args tracer ~dom:0 ~name:n_expand ~start_ns:!tr_start ~stop_ns:now
+        ~args:
+          [
+            ("states", Obs.Json.Int !states);
+            ("frontier", Obs.Json.Int (Queue.length q));
+            ("depth", Obs.Json.Int !depth);
+          ];
+      tr_states := !states;
+      tr_start := now
     end
   in
   let reconstruct fp broken =
@@ -216,8 +240,10 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     let succs = timed succ_s succ_calls (fun () -> Reducer.succs_of reducer sys) in
     if succs = [] then incr deadlocks;
     expand fp d succs;
-    heartbeat ()
+    heartbeat ();
+    trace_tick ~final:false ()
   done;
+  trace_tick ~final:true ();
   let elapsed = Unix.gettimeofday () -. t0 in
   let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
   iv.Inv_stats.report obs ~first_violation;

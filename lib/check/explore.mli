@@ -52,6 +52,10 @@ val coverage_gaps :
            GC words) every [heartbeat_every] states, one [invariant]
            record per invariant (eval count, cumulative seconds,
            first-violation attribution) and a final [outcome] record.
+    @param tracer span tracer (default {!Obs.Tracing.null}).  When live
+           (with at least one lane), lane 0 carries one [expand] span per
+           heartbeat interval of expansion work, so the Chrome trace shows
+           throughput phases over time.
     @param heartbeat_every states between heartbeats (default 20,000).
     @param reducer optional state-space reduction hook ({!Reducer.t}):
            its fingerprint replaces {!Fingerprint.of_system} for seen-set
@@ -67,6 +71,7 @@ val run :
   ?normal_form:bool ->
   ?track_coverage:bool ->
   ?obs:Obs.Reporter.t ->
+  ?tracer:Obs.Tracing.t ->
   ?heartbeat_every:int ->
   ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->

@@ -104,8 +104,12 @@ module Seen = struct
   let n_shards = 64
   let shard_bits = 6 (* log2 n_shards *)
 
+  (* Shard mutexes are contention-probed (Obs.Contention): uncontended
+     acquires stay a single try_lock, contended ones record their wait so
+     the end-of-run scaling-detail record can attribute lock time per
+     shard. *)
   type shard = {
-    lock : Mutex.t;
+    lock : Obs.Contention.lock;
     mutable keys : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
     mutable parents : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
     mutable events : int array;
@@ -124,7 +128,7 @@ module Seen = struct
   let create () =
     Array.init n_shards (fun _ ->
         {
-          lock = Mutex.create ();
+          lock = Obs.Contention.make_lock ();
           keys = make_arr shard_cap;
           parents = make_arr shard_cap;
           events = Array.make shard_cap 0;
@@ -167,7 +171,7 @@ module Seen = struct
      recording (parent, event) for replay when it is fresh. *)
   let add (t : t) fp ~parent ~event =
     let s = shard t fp in
-    Mutex.lock s.lock;
+    Obs.Contention.lock s.lock;
     let cap = Bigarray.Array1.dim s.keys in
     if 10 * (s.count + 1) > 7 * cap then grow s;
     let cap = Bigarray.Array1.dim s.keys in
@@ -179,20 +183,22 @@ module Seen = struct
       s.events.(i) <- event;
       s.count <- s.count + 1
     end;
-    Mutex.unlock s.lock;
+    Obs.Contention.unlock s.lock;
     fresh
 
   let find (t : t) fp =
     let s = shard t fp in
-    Mutex.lock s.lock;
+    Obs.Contention.lock s.lock;
     let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
     let r =
       if Bigarray.Array1.unsafe_get s.keys i = fp then
         Some (Bigarray.Array1.unsafe_get s.parents i, s.events.(i))
       else None
     in
-    Mutex.unlock s.lock;
+    Obs.Contention.unlock s.lock;
     r
+
+  let locks (t : t) = Array.map (fun s -> s.lock) t
 end
 
 (* -- the explorer ------------------------------------------------------------ *)
@@ -200,19 +206,37 @@ end
 let max_jobs = 64
 
 let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
-    ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
+    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000) ?reducer
+    ~invariants initial =
   let jobs = max 1 (min jobs max_jobs) in
   if jobs = 1 then
     (* the sequential explorer is the jobs=1 semantics, bit for bit *)
-    Explore.run ~max_states ~normal_form ~track_coverage ~obs ~heartbeat_every ?reducer
+    Explore.run ~max_states ~normal_form ~track_coverage ~obs ~tracer ~heartbeat_every ?reducer
       ~invariants initial
   else begin
-    let t0 = Unix.gettimeofday () in
+    let t0_ns = Obs.Clock.monotonic_ns () in
     let norm sys = if normal_form then Cimp.System.normalize sys else sys in
     let fp_of sys = Reducer.fp_of reducer sys in
     let initial = norm initial in
     let label_ids, labels = intern_labels initial in
     let seen = Seen.create () in
+    (* phase timing per state is only paid when a trace is being recorded;
+       per-level accounting (two clock reads per slice) is always on, so
+       the scaling-detail record is available to any obs sink *)
+    let tr_on = Obs.Tracing.enabled tracer && Obs.Tracing.lanes tracer >= jobs in
+    let n_level = if tr_on then Obs.Tracing.intern tracer "level" else 0 in
+    let n_slice = if tr_on then Obs.Tracing.intern tracer "slice" else 0 in
+    let n_succ = if tr_on then Obs.Tracing.intern tracer "successor-gen" else 0 in
+    let n_fp = if tr_on then Obs.Tracing.intern tracer "normalize+fingerprint" else 0 in
+    let n_ins = if tr_on then Obs.Tracing.intern tracer "seen-insert" else 0 in
+    let n_inv = if tr_on then Obs.Tracing.intern tracer "invariants" else 0 in
+    let n_barrier = if tr_on then Obs.Tracing.intern tracer "barrier-wait" else 0 in
+    if tr_on then
+      for d = 0 to jobs - 1 do
+        Obs.Tracing.set_lane tracer ~dom:d (Fmt.str "worker %d" d)
+      done;
+    let busy_ns = Array.make jobs 0 in
+    let barrier_ns = Array.make jobs 0 in
     let states = Atomic.make 0 in
     let transitions = Atomic.make 0 in
     let deadlocks = Atomic.make 0 in
@@ -266,30 +290,70 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     (* One worker's share of a level: expand frontier[lo..hi), insert fresh
        successors into the shared seen-set, return them (with the level's
        invariant violations) for the next frontier.  Each worker emits its
-       own heartbeats, tagged with its domain index. *)
+       own heartbeats, tagged with its domain index, and returns its busy
+       interval plus (when tracing) per-phase time so the coordinator can
+       write this level's spans into the worker's lane after the join. *)
     let process_slice w (frontier : (int * _) array) lo hi level =
       let iv = ivs.(w) in
       let next = ref [] in
       let viols = ref [] in
       let expanded = ref 0 in
       let hb_expanded = ref 0 in
-      let hb_time = ref (Unix.gettimeofday ()) in
+      let slice_start = Obs.Clock.monotonic_ns () in
+      let hb_time = ref slice_start in
+      let succ_ns = ref 0 and fp_ns = ref 0 and ins_ns = ref 0 and inv_ns = ref 0 in
       for i = lo to hi - 1 do
         let fp, sys = frontier.(i) in
-        let succs = Reducer.succs_of reducer sys in
+        let succs =
+          if tr_on then begin
+            let t = Obs.Clock.monotonic_ns () in
+            let r = Reducer.succs_of reducer sys in
+            succ_ns := !succ_ns + (Obs.Clock.monotonic_ns () - t);
+            r
+          end
+          else Reducer.succs_of reducer sys
+        in
         if succs = [] then Atomic.incr deadlocks;
         List.iter
           (fun (event, sys') ->
             if Atomic.get states < max_states then begin
               Atomic.incr transitions;
               record_event w event;
-              let sys' = norm sys' in
-              let fp' = Fingerprint.hash (fp_of sys') in
-              if Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event) then begin
+              let sys', fp' =
+                if tr_on then begin
+                  let t = Obs.Clock.monotonic_ns () in
+                  let sys' = norm sys' in
+                  let fp' = Fingerprint.hash (fp_of sys') in
+                  fp_ns := !fp_ns + (Obs.Clock.monotonic_ns () - t);
+                  (sys', fp')
+                end
+                else
+                  let sys' = norm sys' in
+                  (sys', Fingerprint.hash (fp_of sys'))
+              in
+              let fresh =
+                if tr_on then begin
+                  let t = Obs.Clock.monotonic_ns () in
+                  let r = Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event) in
+                  ins_ns := !ins_ns + (Obs.Clock.monotonic_ns () - t);
+                  r
+                end
+                else Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event)
+              in
+              if fresh then begin
                 let n = Atomic.fetch_and_add states 1 + 1 in
                 if n >= max_states then Atomic.set truncated true;
                 next := (fp', sys') :: !next;
-                match iv.Inv_stats.check sys' with
+                let verdict =
+                  if tr_on then begin
+                    let t = Obs.Clock.monotonic_ns () in
+                    let r = iv.Inv_stats.check sys' in
+                    inv_ns := !inv_ns + (Obs.Clock.monotonic_ns () - t);
+                    r
+                  end
+                  else iv.Inv_stats.check sys'
+                in
+                match verdict with
                 | Some name -> viols := (fp', name) :: !viols
                 | None -> ()
               end
@@ -298,8 +362,8 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           succs;
         incr expanded;
         if Obs.Reporter.enabled obs && !expanded - !hb_expanded >= heartbeat_every then begin
-          let now = Unix.gettimeofday () in
-          let interval = now -. !hb_time in
+          let now_ns = Obs.Clock.monotonic_ns () in
+          let interval = float_of_int (now_ns - !hb_time) *. 1e-9 in
           let rate =
             if interval > 0. then float_of_int (!expanded - !hb_expanded) /. interval else 0.
           in
@@ -309,16 +373,19 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
               ("checker", Obs.Json.String "par-explore");
               ("domain", Obs.Json.Int w);
               ("level", Obs.Json.Int level);
+              ("frontier", Obs.Json.Int (Array.length frontier));
               ("states", Obs.Json.Int (Atomic.get states));
+              ("max_states", Obs.Json.Int max_states);
               ("transitions", Obs.Json.Int (Atomic.get transitions));
               ("states_per_sec", Obs.Json.Float rate);
               ("heap_words", Obs.Json.Int gc.Gc.heap_words);
             ];
           hb_expanded := !expanded;
-          hb_time := now
+          hb_time := now_ns
         end
       done;
-      (!next, !viols)
+      let slice_stop = Obs.Clock.monotonic_ns () in
+      (!next, !viols, (slice_start, slice_stop, !succ_ns, !fp_ns, !ins_ns, !inv_ns))
     in
     (* root *)
     let fp0 = Fingerprint.hash (fp_of initial) in
@@ -331,6 +398,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     let rec loop frontier d =
       if Array.length frontier > 0 && !violation = None && not (Atomic.get truncated) then begin
         let len = Array.length frontier in
+        let level_start = Obs.Clock.monotonic_ns () in
         (* tiny levels are not worth a fork-join round trip *)
         let k = if len < 4 * jobs then 1 else jobs in
         let results =
@@ -350,9 +418,65 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
             r0 :: Array.to_list (Array.map Domain.join doms)
           end
         in
-        let next = List.concat_map fst results in
+        (* all workers are joined: the coordinator owns every lane again,
+           so it can account the level and write this level's spans —
+           including each worker's barrier wait, which only the join knows *)
+        let barrier_end = Obs.Clock.monotonic_ns () in
+        List.iteri
+          (fun w (_, _, (s0, s1, succ, fpn, insn, invn)) ->
+            busy_ns.(w) <- busy_ns.(w) + (s1 - s0);
+            barrier_ns.(w) <- barrier_ns.(w) + max 0 (barrier_end - s1);
+            if tr_on then begin
+              Obs.Tracing.span_args tracer ~dom:w ~name:n_slice ~start_ns:s0 ~stop_ns:s1
+                ~args:[ ("level", Obs.Json.Int d) ];
+              (* phase totals, laid out back to back inside the slice span
+                 so viewers show them as its children *)
+              let cursor = ref s0 in
+              List.iter
+                (fun (name, acc) ->
+                  if acc > 0 then begin
+                    Obs.Tracing.span_between tracer ~dom:w ~name ~start_ns:!cursor
+                      ~stop_ns:(!cursor + acc);
+                    cursor := !cursor + acc
+                  end)
+                [ (n_succ, succ); (n_fp, fpn); (n_ins, insn); (n_inv, invn) ];
+              if barrier_end > s1 then
+                Obs.Tracing.span_between tracer ~dom:w ~name:n_barrier ~start_ns:s1
+                  ~stop_ns:barrier_end
+            end)
+          results;
+        let next = List.concat_map (fun (n, _, _) -> n) results in
+        if tr_on then
+          Obs.Tracing.span_args tracer ~dom:0 ~name:n_level ~start_ns:level_start
+            ~stop_ns:barrier_end
+            ~args:
+              [
+                ("level", Obs.Json.Int d);
+                ("frontier", Obs.Json.Int len);
+                ("workers", Obs.Json.Int k);
+              ];
+        if Obs.Reporter.enabled obs then begin
+          let wall_ns = max 1 (barrier_end - level_start) in
+          Obs.Reporter.emit obs "level"
+            [
+              ("checker", Obs.Json.String "par-explore");
+              ("level", Obs.Json.Int d);
+              ("expanded", Obs.Json.Int len);
+              ("frontier", Obs.Json.Int (List.length next));
+              ("states", Obs.Json.Int (Atomic.get states));
+              ("max_states", Obs.Json.Int max_states);
+              ("workers", Obs.Json.Int k);
+              ("wall_s", Obs.Json.Float (float_of_int wall_ns *. 1e-9));
+              ( "busy_frac",
+                Obs.Json.List
+                  (List.map
+                     (fun (_, _, (s0, s1, _, _, _, _)) ->
+                       Obs.Json.Float (float_of_int (s1 - s0) /. float_of_int wall_ns))
+                     results) );
+            ]
+        end;
         if next <> [] then depth := d + 1;
-        (match List.concat_map snd results with
+        (match List.concat_map (fun (_, v, _) -> v) results with
         | [] -> ()
         | v :: vs ->
           (* all shortest violations are on this level; report the one
@@ -365,7 +489,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       end
     in
     loop [| (fp0, initial) |] 0;
-    let elapsed = Unix.gettimeofday () -. t0 in
+    let elapsed = Obs.Clock.elapsed_s ~since:t0_ns in
     let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
     Array.iter (fun iv -> iv.Inv_stats.report obs ~first_violation) ivs;
     let states = Atomic.get states in
@@ -398,7 +522,33 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           ("states", Obs.Json.Int states);
           ("elapsed_s", Obs.Json.Float elapsed);
           ("states_per_sec", Obs.Json.Float rate);
-        ]
+        ];
+      (* contention attribution + Amdahl decomposition of this run *)
+      let lock_stats, shard_wait_s = Obs.Contention.shard_summary (Seen.locks seen) in
+      let ns_s a = Array.map (fun ns -> float_of_int ns *. 1e-9) a in
+      let busy_s = ns_s busy_ns and barrier_s = ns_s barrier_ns in
+      let est = Obs.Contention.estimate ~jobs ~wall_s:elapsed ~busy_per_domain:busy_s in
+      let flist a = Obs.Json.List (Array.to_list (Array.map (fun v -> Obs.Json.Float v) a)) in
+      Obs.Reporter.emit obs "scaling-detail"
+        ([
+           ("checker", Obs.Json.String "par-explore");
+           ("states", Obs.Json.Int states);
+           ("transitions", Obs.Json.Int transitions);
+           ("states_per_sec", Obs.Json.Float rate);
+         ]
+        @ Obs.Contention.estimate_json est
+        @ [
+            ("busy_per_domain_s", flist busy_s);
+            ("barrier_wait_s", Obs.Json.Float (Array.fold_left ( +. ) 0. barrier_s));
+            ("barrier_per_domain_s", flist barrier_s);
+            ("lock_acquires", Obs.Json.Int lock_stats.Obs.Contention.acquires);
+            ("lock_contended", Obs.Json.Int lock_stats.Obs.Contention.contended);
+            ( "lock_wait_s",
+              Obs.Json.Float (float_of_int lock_stats.Obs.Contention.wait_ns *. 1e-9) );
+            ( "lock_max_wait_s",
+              Obs.Json.Float (float_of_int lock_stats.Obs.Contention.max_wait_ns *. 1e-9) );
+            ("shard_wait_s", flist shard_wait_s);
+          ])
     end;
     let covered =
       let merged = Hashtbl.create 512 in

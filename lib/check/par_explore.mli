@@ -32,15 +32,28 @@ type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
     at the end of the current level.  When [obs] is enabled, each worker
     emits its own [heartbeat] records tagged with a [domain] index, each
     worker reports its own per-[invariant] records (aggregate across
-    domains for totals), and the run ends with an [outcome] record plus a
-    [scaling] record ([jobs], [states], [elapsed_s], [states_per_sec])
-    for speedup-vs-domains tracking. *)
+    domains for totals), a [level] record closes every BFS level (frontier
+    size, per-domain busy fractions — what the live dashboard renders),
+    and the run ends with an [outcome] record plus a [scaling] record
+    ([jobs], [states], [elapsed_s], [states_per_sec]) for
+    speedup-vs-domains tracking and a [scaling-detail] record: per-domain
+    busy and barrier-wait seconds, seen-set shard lock contention
+    (acquires, contended acquires, per-shard wait), and the Amdahl
+    serial-fraction estimate ({!Obs.Contention.estimate}).
+
+    When [tracer] is live with at least [jobs] lanes, each worker's lane
+    carries per-level [slice] spans with [successor-gen] /
+    [normalize+fingerprint] / [seen-insert] / [invariants] phase
+    sub-spans and a [barrier-wait] span per level (reconstructed by the
+    coordinator after the join, which owns every lane between levels);
+    lane 0 additionally carries one [level] span per BFS level. *)
 val run :
   ?jobs:int ->
   ?max_states:int ->
   ?normal_form:bool ->
   ?track_coverage:bool ->
   ?obs:Obs.Reporter.t ->
+  ?tracer:Obs.Tracing.t ->
   ?heartbeat_every:int ->
   ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->

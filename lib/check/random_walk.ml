@@ -18,9 +18,23 @@ let pp_outcome ppf o =
     o.elapsed
 
 let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form = true)
-    ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(heartbeat_every = 20_000)
-    ?(should_stop = fun () -> false) ?domain ?reducer ~invariants initial =
+    ?(trace_tail = 1000) ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null)
+    ?(heartbeat_every = 20_000) ?(should_stop = fun () -> false) ?domain ?reducer ~invariants
+    initial =
   let domain_field = match domain with None -> [] | Some d -> [ ("domain", Obs.Json.Int d) ] in
+  (* one tracer lane per walker, indexed by the swarm domain (lane 0 for a
+     solo walk): a span per heartbeat interval of stepping, plus one rich
+     span over the whole walk *)
+  let lane = match domain with None -> 0 | Some d -> d in
+  let tr_on = Obs.Tracing.enabled tracer && lane < Obs.Tracing.lanes tracer in
+  let n_steps_span = if tr_on then Obs.Tracing.intern tracer "walk-steps" else 0 in
+  let n_walk = if tr_on then Obs.Tracing.intern tracer "walk" else 0 in
+  if tr_on then
+    Obs.Tracing.set_lane tracer ~dom:lane
+      (match domain with None -> "walk" | Some d -> Fmt.str "walker %d" d);
+  let tr_t0 = Obs.Tracing.now tracer in
+  let tr_taken = ref 0 in
+  let tr_start = ref tr_t0 in
   let trace_tail = max 1 trace_tail in
   let t0 = Unix.gettimeofday () in
   (* per-phase wall-time attribution for the "profile" record (no
@@ -70,6 +84,13 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
           ]);
       hb_taken := !taken;
       hb_time := now
+    end;
+    if tr_on && !taken - !tr_taken >= heartbeat_every then begin
+      let now_ns = Obs.Tracing.now tracer in
+      Obs.Tracing.span_between tracer ~dom:lane ~name:n_steps_span ~start_ns:!tr_start
+        ~stop_ns:now_ns;
+      tr_taken := !taken;
+      tr_start := now_ns
     end
   in
   (match check_state initial with
@@ -115,6 +136,15 @@ let run ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000) ?(normal_form 
     done
   done;
   let elapsed = Unix.gettimeofday () -. t0 in
+  if tr_on then
+    Obs.Tracing.span_args tracer ~dom:lane ~name:n_walk ~start_ns:tr_t0
+      ~stop_ns:(Obs.Tracing.now tracer)
+      ~args:
+        [
+          ("steps", Obs.Json.Int !taken);
+          ("runs", Obs.Json.Int !runs);
+          ("dead_end_restarts", Obs.Json.Int !restarts);
+        ];
   let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
   iv.Inv_stats.report obs ~first_violation;
   (* the walk has no seen-set, so "states" is the steps taken *)
@@ -180,11 +210,11 @@ let derive_seed seed k = seed lxor ((k + 1) * 0x9E3779B1)
 
 let swarm ?(jobs = 1) ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000)
     ?(normal_form = true) ?(trace_tail = 1000) ?(obs = Obs.Reporter.null)
-    ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
+    ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000) ?reducer ~invariants initial =
   let jobs = max 1 (min jobs 64) in
   if jobs = 1 then
-    run ~seed ~steps ~max_run_length ~normal_form ~trace_tail ~obs ~heartbeat_every ?reducer
-      ~invariants initial
+    run ~seed ~steps ~max_run_length ~normal_form ~trace_tail ~obs ~tracer ~heartbeat_every
+      ?reducer ~invariants initial
   else begin
     let t0 = Unix.gettimeofday () in
     let registry = Obs.Metrics.create_registry () in
@@ -199,7 +229,7 @@ let swarm ?(jobs = 1) ?(seed = 42) ?(steps = 100_000) ?(max_run_length = 5_000)
     let worker k () =
       let o =
         run ~seed:(derive_seed seed k) ~steps:(budget k) ~max_run_length ~normal_form
-          ~trace_tail ~obs ~heartbeat_every ~should_stop ~domain:k ?reducer ~invariants
+          ~trace_tail ~obs ~tracer ~heartbeat_every ~should_stop ~domain:k ?reducer ~invariants
           initial
       in
       Obs.Metrics.aadd m_steps o.steps_taken;

@@ -28,6 +28,10 @@ val pp_outcome : ('a, 'v, 's) outcome Fmt.t
            [heartbeat_every] steps (steps/sec, runs, dead-end restarts,
            GC words), per-[invariant] records, and a final [outcome]
            record.
+    @param tracer span tracer (default {!Obs.Tracing.null}).  When live,
+           the walk's lane (index [domain], or 0) carries one [walk-steps]
+           span per heartbeat interval and a [walk] span over the whole
+           call — per-domain timeline lanes under {!swarm}.
     @param should_stop polled every step; the walk returns early when it
            turns true (cooperative cancellation for {!swarm}).
     @param domain tag emitted as a [domain] field on this walk's
@@ -44,6 +48,7 @@ val run :
   ?normal_form:bool ->
   ?trace_tail:int ->
   ?obs:Obs.Reporter.t ->
+  ?tracer:Obs.Tracing.t ->
   ?heartbeat_every:int ->
   ?should_stop:(unit -> bool) ->
   ?domain:int ->
@@ -70,6 +75,7 @@ val swarm :
   ?normal_form:bool ->
   ?trace_tail:int ->
   ?obs:Obs.Reporter.t ->
+  ?tracer:Obs.Tracing.t ->
   ?heartbeat_every:int ->
   ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->

@@ -1,0 +1,203 @@
+(* BENCH report diffing; see benchcmp.mli. *)
+
+type direction = Lower_better | Higher_better
+
+type delta = {
+  key : string;
+  dir : direction;
+  v_old : float;
+  v_new : float;
+  change_pct : float;
+}
+
+type result = {
+  threshold : float;
+  regressions : delta list;
+  improvements : delta list;
+  unchanged : delta list;
+  only_old : string list;
+  only_new : string list;
+  warnings : string list;
+}
+
+let default_threshold = 0.15
+
+(* -- flattening a report into metrics ----------------------------------------- *)
+
+let finite v = match v with Some f when Float.is_finite f -> Some f | _ -> None
+
+let fmember k j = finite (Option.bind (Json.member k j) Json.to_float)
+let smember k j = Option.bind (Json.member k j) Json.to_string_opt
+let lmember k j = Option.value ~default:[] (Option.bind (Json.member k j) Json.to_list)
+
+(* One metric per figure test (ns/run, lower better), plus the checker
+   throughput blocks (states/sec and steps/sec, higher better).  The
+   campaign block is deliberately excluded: states-to-kill moves with
+   search-order changes that are not performance regressions. *)
+let metrics_of_report report =
+  let groups =
+    (* Bechamel already group-prefixes test names ("fig5/mark-fast-path") *)
+    List.concat_map
+      (fun g ->
+        List.filter_map
+          (fun t ->
+            match (smember "name" t, fmember "ns_per_run" t) with
+            | Some name, Some v -> Some (name ^ " ns_per_run", Lower_better, v)
+            | _ -> None)
+          (lmember "tests" g))
+      (lmember "groups" report)
+  in
+  let checker =
+    match Json.member "checker" report with
+    | None -> []
+    | Some c ->
+      List.filter_map
+        (fun (key, k) ->
+          Option.map (fun v -> (key, Higher_better, v)) (fmember k c))
+        [
+          ("checker explore_states_per_sec", "explore_states_per_sec");
+          ("checker walk_steps_per_sec", "walk_steps_per_sec");
+        ]
+  in
+  let par =
+    match Json.member "checker_par" report with
+    | None -> []
+    | Some p ->
+      List.filter_map
+        (fun row ->
+          match (Option.bind (Json.member "jobs" row) Json.to_int, fmember "states_per_sec" row) with
+          | Some jobs, Some v ->
+            Some (Fmt.str "checker_par jobs=%d states_per_sec" jobs, Higher_better, v)
+          | _ -> None)
+        (lmember "rows" p)
+  in
+  let reduce =
+    match Json.member "checker_reduce" report with
+    | None -> []
+    | Some (Json.List scenarios) ->
+      List.concat_map
+        (fun s ->
+          let label = Option.value ~default:"?" (smember "scenario" s) in
+          List.filter_map
+            (fun row ->
+              match (smember "reduce" row, fmember "states_per_sec" row) with
+              | Some mode, Some v ->
+                Some
+                  (Fmt.str "checker_reduce %s reduce=%s states_per_sec" label mode, Higher_better, v)
+              | _ -> None)
+            (lmember "rows" s))
+        scenarios
+    | Some _ -> []
+  in
+  groups @ checker @ par @ reduce
+
+(* -- comparison --------------------------------------------------------------- *)
+
+let classify ~threshold dir v_old v_new =
+  let change_pct = if v_old = 0. then 0. else (v_new -. v_old) /. v_old *. 100. in
+  let worse =
+    match dir with Lower_better -> change_pct > 0. | Higher_better -> change_pct < 0.
+  in
+  let beyond = Float.abs change_pct > threshold *. 100. in
+  (change_pct, if not beyond then `Unchanged else if worse then `Regression else `Improvement)
+
+let compare_reports ?(threshold = default_threshold) ~old_ new_ =
+  match (old_, new_) with
+  | Json.Obj _, Json.Obj _ ->
+    let warnings = ref [] in
+    let warn fmt = Fmt.kstr (fun s -> warnings := s :: !warnings) fmt in
+    (match (smember "hostname" old_, smember "hostname" new_) with
+    | Some a, Some b when a <> b ->
+      Error
+        (Fmt.str
+           "reports come from different machines (%s vs %s); benchmarks are only comparable on \
+            the same host"
+           a b)
+    | None, _ | _, None ->
+      warn "at least one report predates schema v3 (no hostname); same-machine check skipped";
+      Ok ()
+    | Some _, Some _ -> Ok ())
+    |> Result.map (fun () ->
+           (match (smember "schema" old_, smember "schema" new_) with
+           | Some a, Some b when a <> b -> warn "schema skew: %s vs %s" a b
+           | _ -> ());
+           (match (smember "ocaml_version" old_, smember "ocaml_version" new_) with
+           | Some a, Some b when a <> b -> warn "compiler skew: OCaml %s vs %s" a b
+           | _ -> ());
+           let m_old = metrics_of_report old_ and m_new = metrics_of_report new_ in
+           let tbl = Hashtbl.create 64 in
+           List.iter (fun (k, d, v) -> Hashtbl.replace tbl k (d, v)) m_old;
+           let regressions = ref [] and improvements = ref [] and unchanged = ref [] in
+           let only_new = ref [] in
+           List.iter
+             (fun (k, dir, v_new) ->
+               match Hashtbl.find_opt tbl k with
+               | None -> only_new := k :: !only_new
+               | Some (_, v_old) ->
+                 Hashtbl.remove tbl k;
+                 let change_pct, cls = classify ~threshold dir v_old v_new in
+                 let d = { key = k; dir; v_old; v_new; change_pct } in
+                 (match cls with
+                 | `Regression -> regressions := d :: !regressions
+                 | `Improvement -> improvements := d :: !improvements
+                 | `Unchanged -> unchanged := d :: !unchanged))
+             m_new;
+           let only_old =
+             List.filter_map
+               (fun (k, _, _) -> if Hashtbl.mem tbl k then Some k else None)
+               m_old
+           in
+           let by_severity l =
+             List.sort (fun a b -> compare (Float.abs b.change_pct) (Float.abs a.change_pct)) l
+           in
+           {
+             threshold;
+             regressions = by_severity !regressions;
+             improvements = by_severity !improvements;
+             unchanged = List.rev !unchanged;
+             only_old;
+             only_new = List.rev !only_new;
+             warnings = List.rev !warnings;
+           })
+  | _ -> Error "a BENCH report must be a JSON object"
+
+let read_report path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | s -> (
+    match Json.of_string s with
+    | Ok j -> Ok j
+    | Error msg -> Error (Fmt.str "%s: %s" path msg))
+
+let compare_files ?threshold ~old_path new_path =
+  Result.bind (read_report old_path) (fun old_ ->
+      Result.bind (read_report new_path) (fun new_ -> compare_reports ?threshold ~old_ new_))
+
+let has_regressions r = r.regressions <> []
+
+(* -- rendering ---------------------------------------------------------------- *)
+
+let pp_delta b tag d =
+  Buffer.add_string b
+    (Fmt.str "  %-4s %-52s %14.1f -> %14.1f  %+6.1f%%%s\n" tag d.key d.v_old d.v_new d.change_pct
+       (match d.dir with Lower_better -> " (ns)" | Higher_better -> " (rate)"))
+
+let render ?old_name ?new_name r =
+  let b = Buffer.create 512 in
+  (match (old_name, new_name) with
+  | Some o, Some n ->
+    Buffer.add_string b (Fmt.str "benchdiff %s -> %s (threshold %.0f%%)\n" o n (r.threshold *. 100.))
+  | _ -> Buffer.add_string b (Fmt.str "benchdiff (threshold %.0f%%)\n" (r.threshold *. 100.)));
+  List.iter (fun w -> Buffer.add_string b ("  warning: " ^ w ^ "\n")) r.warnings;
+  List.iter (pp_delta b "WORSE") r.regressions;
+  List.iter (pp_delta b "better") r.improvements;
+  List.iter (fun k -> Buffer.add_string b (Fmt.str "  only in old report: %s\n" k)) r.only_old;
+  List.iter (fun k -> Buffer.add_string b (Fmt.str "  only in new report: %s\n" k)) r.only_new;
+  Buffer.add_string b
+    (Fmt.str "  %d regression%s, %d improvement%s, %d within noise\n"
+       (List.length r.regressions)
+       (if List.length r.regressions = 1 then "" else "s")
+       (List.length r.improvements)
+       (if List.length r.improvements = 1 then "" else "s")
+       (List.length r.unchanged));
+  Buffer.contents b

@@ -1,0 +1,59 @@
+(** Comparing two BENCH_<n>.json reports: the perf regression gate.
+
+    A report (see [bench/main.ml]) carries Bechamel ns/run per figure
+    test plus checker throughput blocks (states/sec, steps/sec).  This
+    module flattens both reports into named metrics with a direction
+    (ns/run: lower is better; states/sec: higher is better), diffs them
+    pairwise, and classifies each change against a noise threshold.
+    [gcmodel benchdiff A.json B.json] and [bench --against] are thin
+    wrappers; CI exits non-zero when {!has_regressions}.
+
+    Benchmarks are only comparable on the same machine, so when both
+    reports record a hostname (schema v3) and they differ the comparison
+    is refused outright; v2 reports, which predate the field, compare
+    with a warning. *)
+
+type direction = Lower_better | Higher_better
+
+type delta = {
+  key : string;  (** e.g. ["fig5/mark-fast-path ns_per_run"] *)
+  dir : direction;
+  v_old : float;
+  v_new : float;
+  change_pct : float;  (** signed [(new - old) / old * 100] *)
+}
+
+type result = {
+  threshold : float;  (** the fraction the classification used *)
+  regressions : delta list;  (** worse by more than [threshold] *)
+  improvements : delta list;  (** better by more than [threshold] *)
+  unchanged : delta list;  (** within the noise band *)
+  only_old : string list;  (** metrics present only in the old report *)
+  only_new : string list;
+  warnings : string list;  (** e.g. missing hostnames, schema skew *)
+}
+
+(** The one place the regression gate's noise threshold lives: 15%.
+    Every consumer (benchdiff, [bench --against], CI) defaults to this. *)
+val default_threshold : float
+
+(** Flatten one parsed report into [(key, direction, value)] metrics.
+    Unknown blocks are ignored, so v2 and v3 reports both work. *)
+val metrics_of_report : Json.t -> (string * direction * float) list
+
+(** [compare_reports ~old_ new_] compares two parsed reports.  [Error]
+    only for structural refusals (different hostnames, not objects);
+    per-metric drift is a [result]. *)
+val compare_reports :
+  ?threshold:float -> old_:Json.t -> Json.t -> (result, string) Stdlib.result
+
+(** [compare_files ~old_path new_path] reads, parses and compares two
+    report files. *)
+val compare_files :
+  ?threshold:float -> old_path:string -> string -> (result, string) Stdlib.result
+
+val has_regressions : result -> bool
+
+(** Human-readable report: one line per changed metric (worst first),
+    then counts; mentions the files compared when given. *)
+val render : ?old_name:string -> ?new_name:string -> result -> string

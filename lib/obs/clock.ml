@@ -1,0 +1,7 @@
+(* CLOCK_MONOTONIC via a one-line C stub; see clock.mli and clock_stubs.c. *)
+
+external monotonic_ns : unit -> int = "obs_clock_monotonic_ns" [@@noalloc]
+
+let ns_to_s ns = float_of_int ns *. 1e-9
+let ns_to_us ns = float_of_int ns *. 1e-3
+let elapsed_s ~since = ns_to_s (max 0 (monotonic_ns () - since))

@@ -1,0 +1,18 @@
+(** Monotonic time for durations and span timestamps.
+
+    [Unix.gettimeofday] is wall-clock time: NTP slews and manual clock
+    changes can make deltas negative or wildly wrong, which corrupts
+    span durations and [rel_s] fields.  Every duration in the
+    observability layer is therefore measured on [CLOCK_MONOTONIC];
+    wall-clock [ts] fields remain for human correlation only. *)
+
+(** Nanoseconds on the system monotonic clock, from an arbitrary but
+    fixed origin.  Allocation-free; differences are true elapsed time. *)
+val monotonic_ns : unit -> int
+
+(** [elapsed_s ~since] in seconds, where [since] came from
+    {!monotonic_ns}.  Never negative. *)
+val elapsed_s : since:int -> float
+
+val ns_to_s : int -> float
+val ns_to_us : int -> float

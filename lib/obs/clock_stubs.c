@@ -1,0 +1,15 @@
+/* Monotonic clock for the observability layer.
+
+   CLOCK_MONOTONIC nanoseconds since an arbitrary epoch, returned as an
+   OCaml immediate int (63 bits of nanoseconds = ~292 years, far beyond
+   any process lifetime), so the hot path allocates nothing. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,222 @@
+(* The --obs=live TTY dashboard; see dashboard.mli. *)
+
+type mode = Ansi | Plain
+
+type t = {
+  mode : mode;
+  out : string -> unit;
+  started_ns : int;
+  mutable checker : string;
+  mutable progress : int;  (* states (explore) or steps (walk) *)
+  mutable rate : float;  (* overall states/s, from the newest heartbeat *)
+  mutable level : int;
+  mutable frontier : int;
+  mutable max_states : int;  (* 0 = unknown *)
+  mutable dom_rate : float array;  (* per-domain states/s *)
+  mutable dom_util : float array;  (* per-domain busy fraction of the last level *)
+  mutable shard_heat : float array;  (* per-shard share of total lock wait *)
+  mutable lock_wait_pct : float;  (* lock wait as % of aggregate busy time *)
+  mutable serial_fraction : float;  (* < 0 = unknown *)
+  mutable verdict : string option;
+  mutable drawn : int;  (* lines on screen from the previous draw *)
+  mutable last_draw_ns : int;
+  mutable finished : bool;
+}
+
+let detect_mode () =
+  let term = match Sys.getenv_opt "TERM" with Some t -> t | None -> "" in
+  if (try Unix.isatty Unix.stderr with Unix.Unix_error _ -> false) && term <> "dumb" && term <> ""
+  then Ansi
+  else Plain
+
+let create ?mode ?(out = fun s -> output_string stderr s; flush stderr) () =
+  let mode = match mode with Some m -> m | None -> detect_mode () in
+  {
+    mode;
+    out;
+    started_ns = Clock.monotonic_ns ();
+    checker = "";
+    progress = 0;
+    rate = 0.;
+    level = -1;
+    frontier = -1;
+    max_states = 0;
+    dom_rate = [||];
+    dom_util = [||];
+    shard_heat = [||];
+    lock_wait_pct = 0.;
+    serial_fraction = -1.;
+    verdict = None;
+    drawn = 0;
+    last_draw_ns = 0;
+    finished = false;
+  }
+
+(* -- rendering ---------------------------------------------------------------- *)
+
+let human n =
+  if n >= 10_000_000 then Fmt.str "%.1fM" (float_of_int n /. 1e6)
+  else if n >= 10_000 then Fmt.str "%.0fk" (float_of_int n /. 1e3)
+  else string_of_int n
+
+let bar width frac =
+  let frac = Float.max 0. (Float.min 1. frac) in
+  let full = int_of_float (frac *. float_of_int width) in
+  String.init width (fun i -> if i < full then '#' else '.')
+
+let heat_glyphs = " .:-=+*#%@"
+
+let heat_string heat =
+  String.init (Array.length heat) (fun i ->
+      let h = Float.max 0. (Float.min 1. heat.(i)) in
+      heat_glyphs.[min (String.length heat_glyphs - 1)
+                     (int_of_float (h *. float_of_int (String.length heat_glyphs - 1) +. 0.5))])
+
+let eta t =
+  if t.max_states > 0 && t.rate > 1. && t.progress < t.max_states then begin
+    let s = float_of_int (t.max_states - t.progress) /. t.rate in
+    if s < 6000. then Fmt.str "  ETA vs cap %02d:%02d" (int_of_float s / 60) (int_of_float s mod 60)
+    else "  ETA vs cap >99min"
+  end
+  else ""
+
+let panel_lines t =
+  let elapsed = Clock.elapsed_s ~since:t.started_ns in
+  let head =
+    Fmt.str "%s  +%.1fs  %s states  %.0f/s%s%s%s%s"
+      (if t.checker = "" then "checker" else t.checker)
+      elapsed (human t.progress) t.rate
+      (if t.level >= 0 then Fmt.str "  level %d" t.level else "")
+      (if t.frontier >= 0 then Fmt.str "  frontier %s" (human t.frontier) else "")
+      (eta t)
+      (match t.verdict with None -> "" | Some v -> "  " ^ v)
+  in
+  let doms =
+    List.filteri (fun _ _ -> Array.length t.dom_rate > 1)
+      (List.init (Array.length t.dom_rate) (fun d ->
+           let util =
+             if d < Array.length t.dom_util then t.dom_util.(d)
+             else if t.rate > 0. then t.dom_rate.(d) /. t.rate
+             else 0.
+           in
+           Fmt.str "  dom %d [%s] %7.0f/s%s" d (bar 20 util) t.dom_rate.(d)
+             (if d < Array.length t.dom_util then Fmt.str "  busy %3.0f%%" (100. *. util) else "")))
+  in
+  let shards =
+    if Array.length t.shard_heat = 0 then []
+    else
+      [
+        Fmt.str "  shards [%s]  lock-wait %.1f%%%s" (heat_string t.shard_heat) t.lock_wait_pct
+          (if t.serial_fraction >= 0. then Fmt.str "  serial-frac %.2f" t.serial_fraction else "");
+      ]
+  in
+  head :: (doms @ shards)
+
+let draw ?(force = false) t =
+  if not t.finished then begin
+    let now = Clock.monotonic_ns () in
+    let min_interval = match t.mode with Ansi -> 100_000_000 | Plain -> 1_000_000_000 in
+    if force || now - t.last_draw_ns >= min_interval then begin
+      t.last_draw_ns <- now;
+      let lines = panel_lines t in
+      match t.mode with
+      | Ansi ->
+        let b = Buffer.create 256 in
+        if t.drawn > 0 then Buffer.add_string b (Fmt.str "\027[%dA" t.drawn);
+        List.iter
+          (fun l ->
+            Buffer.add_string b "\027[2K";
+            Buffer.add_string b l;
+            Buffer.add_char b '\n')
+          lines;
+        (* previous draw had more lines: blank the leftovers *)
+        let extra = t.drawn - List.length lines in
+        if extra > 0 then begin
+          for _ = 1 to extra do
+            Buffer.add_string b "\027[2K\n"
+          done;
+          Buffer.add_string b (Fmt.str "\027[%dA" extra)
+        end;
+        t.drawn <- List.length lines;
+        t.out (Buffer.contents b)
+      | Plain -> t.out (String.concat "\n" lines ^ "\n")
+    end
+  end
+
+(* -- record intake ------------------------------------------------------------ *)
+
+let ffield fields k = Option.bind (List.assoc_opt k fields) Json.to_float
+let ifield fields k = Option.bind (List.assoc_opt k fields) Json.to_int
+let sfield fields k = Option.bind (List.assoc_opt k fields) Json.to_string_opt
+
+let ensure_dom t d =
+  if d >= Array.length t.dom_rate then begin
+    let r = Array.make (d + 1) 0. in
+    Array.blit t.dom_rate 0 r 0 (Array.length t.dom_rate);
+    t.dom_rate <- r
+  end
+
+let float_list fields k =
+  match List.assoc_opt k fields with
+  | Some (Json.List l) -> Some (Array.of_list (List.filter_map Json.to_float l))
+  | _ -> None
+
+let update t event fields =
+  if not t.finished then begin
+    (match event with
+    | "heartbeat" ->
+      Option.iter (fun c -> t.checker <- c) (sfield fields "checker");
+      (match ifield fields "states" with
+      | Some s -> t.progress <- max t.progress s
+      | None -> Option.iter (fun s -> t.progress <- max t.progress s) (ifield fields "steps"));
+      Option.iter (fun l -> t.level <- l) (ifield fields "level");
+      Option.iter (fun f -> t.frontier <- f) (ifield fields "frontier");
+      Option.iter (fun m -> t.max_states <- m) (ifield fields "max_states");
+      let rate =
+        match ffield fields "states_per_sec" with
+        | Some r -> Some r
+        | None -> ffield fields "steps_per_sec"
+      in
+      (match (ifield fields "domain", rate) with
+      | Some d, Some r ->
+        ensure_dom t d;
+        t.dom_rate.(d) <- r;
+        t.rate <- Array.fold_left ( +. ) 0. t.dom_rate
+      | None, Some r -> t.rate <- r
+      | _ -> ())
+    | "level" ->
+      Option.iter (fun c -> t.checker <- c) (sfield fields "checker");
+      Option.iter (fun l -> t.level <- l) (ifield fields "level");
+      Option.iter (fun f -> t.frontier <- f) (ifield fields "frontier");
+      Option.iter (fun s -> t.progress <- max t.progress s) (ifield fields "states");
+      Option.iter (fun m -> t.max_states <- m) (ifield fields "max_states");
+      Option.iter (fun u -> t.dom_util <- u) (float_list fields "busy_frac")
+    | "scaling-detail" ->
+      Option.iter
+        (fun w ->
+          let total = Array.fold_left ( +. ) 0. w in
+          if total > 0. then t.shard_heat <- Array.map (fun x -> x /. total) w)
+        (float_list fields "shard_wait_s");
+      (match (ffield fields "lock_wait_s", ffield fields "busy_s") with
+      | Some lw, Some busy when busy > 0. -> t.lock_wait_pct <- 100. *. lw /. busy
+      | _ -> ());
+      Option.iter (fun f -> t.serial_fraction <- f) (ffield fields "serial_fraction")
+    | "outcome" ->
+      Option.iter (fun c -> t.checker <- c) (sfield fields "checker");
+      (match ifield fields "states" with
+      | Some s -> t.progress <- max t.progress s
+      | None -> Option.iter (fun s -> t.progress <- max t.progress s) (ifield fields "steps"));
+      t.verdict <-
+        Some
+          (match List.assoc_opt "violation" fields with
+          | Some (Json.String v) -> "VIOLATION: " ^ v
+          | _ -> "ok")
+    | _ -> ());
+    draw ~force:(event = "outcome") t
+  end
+
+let finish t =
+  if not t.finished then begin
+    draw ~force:true t;
+    t.finished <- true
+  end

@@ -11,16 +11,23 @@ and counter = { c_name : string; mutable c_n : int }
 and acounter = { a_name : string; a_n : int Atomic.t }
 and gauge = { g_name : string; mutable g_v : float }
 
-and histogram = {
-  h_name : string;
-  h_cap : int;
-  h_samples : float array;  (* reservoir; first [h_filled] slots valid *)
-  mutable h_filled : int;
-  mutable h_seen : int;  (* total observations *)
-  mutable h_sum : float;
-  mutable h_min : float;
-  mutable h_max : float;
-  mutable h_lcg : int;  (* deterministic replacement stream *)
+(* Histograms are sharded by the observing domain's id so concurrent
+   [observe]s never race: each shard holds its own reservoir and is
+   guarded by a mutex that is uncontended unless two domain ids collide
+   modulo the shard count.  Snapshots merge the shards.  Sample arrays
+   are allocated on a shard's first observation, so an 8-way histogram
+   that only ever sees one domain costs one reservoir. *)
+and histogram = { h_name : string; h_cap : int; h_shards : hshard array }
+
+and hshard = {
+  hs_lock : Mutex.t;
+  mutable hs_samples : float array;  (* reservoir; first [hs_filled] slots valid *)
+  mutable hs_filled : int;
+  mutable hs_seen : int;  (* total observations through this shard *)
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+  mutable hs_lcg : int;  (* deterministic replacement stream *)
 }
 
 (* Registration may race (the runtime creates metrics from several
@@ -67,64 +74,107 @@ let value g = g.g_v
 
 (* -- histograms -------------------------------------------------------------- *)
 
+let n_hshards = 8
+
 let histogram ?(registry = default) ?(capacity = 4096) name =
   if capacity <= 0 then invalid_arg "Metrics.histogram: capacity must be positive";
   let h =
     {
       h_name = name;
       h_cap = capacity;
-      h_samples = Array.make capacity 0.;
-      h_filled = 0;
-      h_seen = 0;
-      h_sum = 0.;
-      h_min = infinity;
-      h_max = neg_infinity;
-      h_lcg = 0x2545F491;
+      h_shards =
+        Array.init n_hshards (fun _ ->
+            {
+              hs_lock = Mutex.create ();
+              hs_samples = [||];
+              hs_filled = 0;
+              hs_seen = 0;
+              hs_sum = 0.;
+              hs_min = infinity;
+              hs_max = neg_infinity;
+              hs_lcg = 0x2545F491;
+            });
     }
   in
   register registry (M_histogram h);
   h
 
-let lcg_next h =
+let lcg_next s =
   (* the 48-bit java.util.Random step; only used once the reservoir is full *)
-  h.h_lcg <- (h.h_lcg * 0x5DEECE66D + 0xB) land ((1 lsl 48) - 1);
-  h.h_lcg
+  s.hs_lcg <- (s.hs_lcg * 0x5DEECE66D + 0xB) land ((1 lsl 48) - 1);
+  s.hs_lcg
 
 let observe h v =
-  h.h_seen <- h.h_seen + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  if h.h_filled < h.h_cap then begin
-    h.h_samples.(h.h_filled) <- v;
-    h.h_filled <- h.h_filled + 1
+  let s = h.h_shards.((Domain.self () :> int) land (n_hshards - 1)) in
+  Mutex.lock s.hs_lock;
+  if s.hs_samples = [||] then s.hs_samples <- Array.make h.h_cap 0.;
+  s.hs_seen <- s.hs_seen + 1;
+  s.hs_sum <- s.hs_sum +. v;
+  if v < s.hs_min then s.hs_min <- v;
+  if v > s.hs_max then s.hs_max <- v;
+  if s.hs_filled < h.h_cap then begin
+    s.hs_samples.(s.hs_filled) <- v;
+    s.hs_filled <- s.hs_filled + 1
   end
   else begin
     (* algorithm R: replace slot [r] for r uniform in [0, seen) iff r < cap *)
-    let r = lcg_next h mod h.h_seen in
-    if r < h.h_cap then h.h_samples.(r) <- v
-  end
+    let r = lcg_next s mod s.hs_seen in
+    if r < h.h_cap then s.hs_samples.(r) <- v
+  end;
+  Mutex.unlock s.hs_lock
 
-let observations h = h.h_seen
+(* Snapshot helpers fold over the shards.  They take each shard's lock in
+   turn, so a snapshot concurrent with observations sees each shard in a
+   consistent state (the aggregate may straddle observations — fine for
+   monitoring). *)
+let fold_shards h f acc =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.hs_lock;
+      let r = f acc s in
+      Mutex.unlock s.hs_lock;
+      r)
+    acc h.h_shards
+
+let observations h = fold_shards h (fun n s -> n + s.hs_seen) 0
+
+let merged_samples h =
+  let n = fold_shards h (fun n s -> n + s.hs_filled) 0 in
+  let out = Array.make (max 1 n) 0. in
+  let i = ref 0 in
+  ignore
+    (fold_shards h
+       (fun () s ->
+         Array.blit s.hs_samples 0 out !i s.hs_filled;
+         i := !i + s.hs_filled)
+       ());
+  Array.sub out 0 n
 
 let percentile h p =
-  if h.h_filled = 0 then nan
+  let sorted = merged_samples h in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  if n = 0 then nan
   else begin
-    let sorted = Array.sub h.h_samples 0 h.h_filled in
-    Array.sort compare sorted;
-    let n = h.h_filled in
     let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) - 1 in
     sorted.(max 0 (min (n - 1) rank))
   end
 
-let mean h = if h.h_seen = 0 then nan else h.h_sum /. float_of_int h.h_seen
-let hmin h = if h.h_seen = 0 then nan else h.h_min
-let hmax h = if h.h_seen = 0 then nan else h.h_max
+let mean h =
+  let seen = observations h in
+  if seen = 0 then nan else fold_shards h (fun x s -> x +. s.hs_sum) 0. /. float_of_int seen
+
+let hmin h =
+  if observations h = 0 then nan else fold_shards h (fun x s -> Float.min x s.hs_min) infinity
+
+let hmax h =
+  if observations h = 0 then nan
+  else fold_shards h (fun x s -> Float.max x s.hs_max) neg_infinity
 
 let hsnapshot h =
   Json.Obj
     [
-      ("count", Json.Int h.h_seen);
+      ("count", Json.Int (observations h));
       ("mean", Json.Float (mean h));
       ("p50", Json.Float (percentile h 50.));
       ("p90", Json.Float (percentile h 90.));

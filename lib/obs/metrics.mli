@@ -51,14 +51,20 @@ val gauge : ?registry:registry -> string -> gauge
 val set : gauge -> float -> unit
 val value : gauge -> float
 
-(** {1 Histograms} — single-writer reservoir samples. *)
+(** {1 Histograms} — domain-safe sharded reservoir samples. *)
 
 type histogram
 
 (** [histogram name] with a reservoir of [capacity] samples (default
-    4096).  Under capacity every observation is retained and percentiles
-    are exact; over capacity, reservoir sampling (algorithm R with a
-    deterministic LCG, so runs are reproducible) keeps a uniform sample. *)
+    4096) per observing shard.  Observations are sharded by the calling
+    domain's id (8 shards, each with its own reservoir and a mutex that
+    is uncontended unless domain ids collide modulo the shard count), so
+    concurrent [observe] from several domains is safe and near
+    synchronisation-free; snapshots merge the shards.  For a
+    single-domain writer the behaviour is the classic one: under
+    capacity every observation is retained and percentiles are exact;
+    over capacity, reservoir sampling (algorithm R with a deterministic
+    LCG, so runs are reproducible) keeps a uniform sample. *)
 val histogram : ?registry:registry -> ?capacity:int -> string -> histogram
 
 val observe : histogram -> float -> unit

@@ -29,6 +29,11 @@ val jsonl : string -> t
     far (in emission order). *)
 val memory : unit -> t * (unit -> Json.t list)
 
+(** Live TTY dashboard sink ([--obs=live]): records drive an in-place
+    status panel instead of a log stream (see {!Dashboard}).  [dashboard]
+    overrides the auto-detected one — tests render into a buffer. *)
+val live : ?dashboard:Dashboard.t -> unit -> t
+
 (** [false] exactly for {!null} and closed reporters: guards
     instrumentation whose mere bookkeeping would cost something. *)
 val enabled : t -> bool
@@ -46,7 +51,7 @@ val close : t -> unit
 
 (** {1 Configuration}
 
-    The CLI surface: [--obs=off | pretty | json:FILE], with the
+    The CLI surface: [--obs=off | pretty | json:FILE | live], with the
     [RELAXING_OBS] environment variable as fallback. *)
 
 val spec_doc : string

@@ -1,0 +1,210 @@
+(* Per-domain ring-buffer span tracer; see tracing.mli for the contract.
+
+   Hot-path layout: three parallel int arrays per lane (name id, start ns,
+   duration ns — instants use duration -1), a fill cursor and a drop
+   counter.  Recording is three unsafe stores and a bump: no allocation,
+   no lock, no branch on the disabled path beyond [enabled].  Rich spans
+   (with JSON args) go to a side list per lane; they are coarse-grained
+   (per level / per GC cycle) so the allocation does not matter. *)
+
+type rich = { r_name : int; r_start : int; r_dur : int; r_args : (string * Json.t) list }
+
+type lane = {
+  names : int array;
+  starts : int array;
+  durs : int array;  (* -1 = instant event *)
+  mutable fill : int;
+  mutable dropped : int;
+  mutable rich : rich list;  (* newest first *)
+  mutable label : string option;
+}
+
+type t = {
+  live : bool;
+  capacity : int;
+  clock : unit -> int;
+  t0 : int;  (* clock at creation; event timestamps are relative to it *)
+  pname : string;
+  lanes_ : lane array;
+  intern_lock : Mutex.t;
+  name_ids : (string, int) Hashtbl.t;
+  mutable names_rev : string list;  (* id order, newest first *)
+  mutable n_names : int;
+}
+
+let make_lane capacity =
+  {
+    names = Array.make capacity 0;
+    starts = Array.make capacity 0;
+    durs = Array.make capacity 0;
+    fill = 0;
+    dropped = 0;
+    rich = [];
+    label = None;
+  }
+
+let create_gen ~live ?(capacity = 65536) ?(clock = Clock.monotonic_ns) ?(name = "relaxing-safely")
+    ~domains () =
+  if live && (capacity <= 0 || domains <= 0) then
+    invalid_arg "Tracing.create: capacity and domains must be positive";
+  {
+    live;
+    capacity;
+    clock;
+    t0 = (if live then clock () else 0);
+    pname = name;
+    lanes_ = Array.init (if live then domains else 0) (fun _ -> make_lane (if live then capacity else 0));
+    intern_lock = Mutex.create ();
+    name_ids = Hashtbl.create 64;
+    names_rev = [];
+    n_names = 0;
+  }
+
+let null = create_gen ~live:false ~capacity:0 ~domains:0 ()
+let create ?capacity ?clock ?name ~domains () = create_gen ~live:true ?capacity ?clock ?name ~domains ()
+
+let enabled t = t.live
+let lanes t = Array.length t.lanes_
+
+let intern t name =
+  if not t.live then 0
+  else begin
+    Mutex.lock t.intern_lock;
+    let id =
+      match Hashtbl.find_opt t.name_ids name with
+      | Some id -> id
+      | None ->
+        let id = t.n_names in
+        Hashtbl.add t.name_ids name id;
+        t.names_rev <- name :: t.names_rev;
+        t.n_names <- id + 1;
+        id
+    in
+    Mutex.unlock t.intern_lock;
+    id
+  end
+
+let set_lane t ~dom label = if t.live then t.lanes_.(dom).label <- Some label
+
+let now t = if t.live then t.clock () else 0
+
+let record t ~dom ~name ~start_ns ~dur =
+  let l = t.lanes_.(dom) in
+  let i = l.fill in
+  if i < t.capacity then begin
+    Array.unsafe_set l.names i name;
+    Array.unsafe_set l.starts i (start_ns - t.t0);
+    Array.unsafe_set l.durs i dur;
+    l.fill <- i + 1
+  end
+  else l.dropped <- l.dropped + 1
+
+let span_between t ~dom ~name ~start_ns ~stop_ns =
+  if t.live then record t ~dom ~name ~start_ns ~dur:(max 0 (stop_ns - start_ns))
+
+let span t ~dom ~name ~start_ns =
+  if t.live then record t ~dom ~name ~start_ns ~dur:(max 0 (t.clock () - start_ns))
+
+let instant t ~dom ~name =
+  if t.live then record t ~dom ~name ~start_ns:(t.clock ()) ~dur:(-1)
+
+let span_args t ~dom ~name ~start_ns ~stop_ns ~args =
+  if t.live then begin
+    let l = t.lanes_.(dom) in
+    if l.fill + List.length l.rich < t.capacity then
+      l.rich <-
+        { r_name = name; r_start = start_ns - t.t0; r_dur = max 0 (stop_ns - start_ns); r_args = args }
+        :: l.rich
+    else l.dropped <- l.dropped + 1
+  end
+
+let events t = Array.fold_left (fun n l -> n + l.fill + List.length l.rich) 0 t.lanes_
+let drops t = Array.fold_left (fun n l -> n + l.dropped) 0 t.lanes_
+
+(* -- Chrome trace-event output ----------------------------------------------- *)
+
+let us ns = Json.Float (Clock.ns_to_us ns)
+
+let meta ~tid name value =
+  Json.Obj
+    [
+      ("ph", Json.String "M");
+      ("ts", Json.Int 0);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("name", Json.String name);
+      ("args", Json.Obj [ ("name", Json.String value) ]);
+    ]
+
+let event_json ~tid ~name ~start ~dur ~args =
+  let base =
+    [
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("name", Json.String name);
+      ("cat", Json.String "obs");
+    ]
+  in
+  let args = match args with [] -> [] | l -> [ ("args", Json.Obj l) ] in
+  if dur < 0 then
+    Json.Obj
+      ((("ph", Json.String "i") :: ("ts", us start) :: ("s", Json.String "t") :: base) @ args)
+  else
+    Json.Obj ((("ph", Json.String "X") :: ("ts", us start) :: ("dur", us dur) :: base) @ args)
+
+let to_json t =
+  let names = Array.of_list (List.rev t.names_rev) in
+  let name_of id = if id >= 0 && id < Array.length names then names.(id) else "?" in
+  let evs = ref [] in
+  (* reverse lane order + reverse event order so the final list is
+     (lane 0 event 0) first: deterministic output for byte-stable tests *)
+  for dom = Array.length t.lanes_ - 1 downto 0 do
+    let l = t.lanes_.(dom) in
+    List.iter
+      (fun r ->
+        evs :=
+          event_json ~tid:dom ~name:(name_of r.r_name) ~start:r.r_start ~dur:r.r_dur
+            ~args:r.r_args
+          :: !evs)
+      l.rich;
+    for i = l.fill - 1 downto 0 do
+      evs :=
+        event_json ~tid:dom ~name:(name_of l.names.(i)) ~start:l.starts.(i) ~dur:l.durs.(i)
+          ~args:[]
+        :: !evs
+    done;
+    evs :=
+      meta ~tid:dom "thread_name"
+        (match l.label with Some s -> s | None -> Fmt.str "domain %d" dom)
+      :: !evs
+  done;
+  evs := meta ~tid:0 "process_name" t.pname :: !evs;
+  Json.Obj
+    [
+      ("traceEvents", Json.List !evs);
+      ("displayTimeUnit", Json.String "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("events", Json.Int (events t));
+            ("dropped_events", Json.Int (drops t));
+            ("lanes", Json.Int (lanes t));
+          ] );
+    ]
+
+let write t path =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (to_json t));
+      Out_channel.output_char oc '\n')
+
+(* -- CLI plumbing ------------------------------------------------------------- *)
+
+let resolve ?out ~domains () =
+  match out with None -> null | Some _ -> create ~domains:(max 1 domains) ()
+
+let finish t ?out () =
+  match (t.live, out) with
+  | true, Some path ->
+    write t path;
+    Some (events t, drops t)
+  | _ -> None

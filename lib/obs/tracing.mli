@@ -1,0 +1,87 @@
+(** Low-overhead per-domain span tracing with Chrome trace-event output.
+
+    A tracer owns one preallocated ring buffer per domain lane.  Recording
+    a span writes three ints (name id, start, duration — 24 bytes) into
+    the owning lane with no allocation, no locking and no formatting; when
+    a lane is full, further events are counted as drops and the buffered
+    prefix is preserved.  Timestamps come from the monotonic {!Clock} (or
+    an injected stub, for byte-stable tests).
+
+    Lane discipline: a lane must have a single writer at a time.  The
+    checkers index lanes by worker-domain id; the fork/join structure of
+    the level barrier (and of the runtime harness) provides the
+    happens-before edges when one domain finishes a lane and another
+    (e.g. the coordinator emitting barrier-wait spans) takes it over.
+
+    [write] emits the buffered events as Chrome trace-event JSON (the
+    ["traceEvents"] array format), loadable in Perfetto / chrome://tracing:
+    one [pid] per tracer, one [tid] per lane, ["X"] complete events for
+    spans and ["i"] instant events, each with [ph]/[ts]/[pid]/[tid], with
+    timestamps in microseconds relative to the tracer's creation. *)
+
+type t
+
+(** The disabled tracer: {!enabled} is false, every recording operation
+    returns immediately, {!now} returns 0. *)
+val null : t
+
+(** [create ~domains ()] with [domains] lanes of [capacity] events each
+    (default 65536).  [clock] (default {!Clock.monotonic_ns}) is the
+    timestamp source — inject a counter for deterministic output.
+    [name] labels the trace's process in viewers. *)
+val create : ?capacity:int -> ?clock:(unit -> int) -> ?name:string -> domains:int -> unit -> t
+
+val enabled : t -> bool
+
+(** Number of lanes ([domains] at creation; 0 for {!null}). *)
+val lanes : t -> int
+
+(** [intern t name] returns the id for span name [name], registering it on
+    first use.  Intern at setup time; recording takes ids only.  Interning
+    is idempotent and (unlike recording) mutex-protected. *)
+val intern : t -> string -> int
+
+(** [set_lane t ~dom name] labels lane [dom] ("thread_name" metadata). *)
+val set_lane : t -> dom:int -> string -> unit
+
+(** Current timestamp on the tracer's clock; 0 when disabled.  Pass the
+    result back as [start_ns]/[stop_ns]. *)
+val now : t -> int
+
+(** [span t ~dom ~name ~start_ns] records a span ending now. *)
+val span : t -> dom:int -> name:int -> start_ns:int -> unit
+
+(** [span_between] records a span with an explicit end, e.g. a barrier
+    wait reconstructed by the coordinator after the join. *)
+val span_between : t -> dom:int -> name:int -> start_ns:int -> stop_ns:int -> unit
+
+(** [span_args] additionally attaches JSON args shown in the viewer's
+    detail pane.  Costs an allocation — use for coarse (per-level,
+    per-cycle) spans, not per-state ones. *)
+val span_args :
+  t -> dom:int -> name:int -> start_ns:int -> stop_ns:int -> args:(string * Json.t) list -> unit
+
+(** [instant t ~dom ~name] marks a point in time on the lane. *)
+val instant : t -> dom:int -> name:int -> unit
+
+(** Events currently buffered across all lanes (excluding drops). *)
+val events : t -> int
+
+(** Events dropped because their lane was full. *)
+val drops : t -> int
+
+(** The Chrome trace-event document for the events recorded so far. *)
+val to_json : t -> Json.t
+
+(** [write t path] writes {!to_json} to [path] (single JSON document). *)
+val write : t -> string -> unit
+
+(** {1 CLI plumbing} *)
+
+(** [resolve ?out ~domains ()]: a live tracer when [out] is given (the
+    [--trace-out=FILE] flag), {!null} otherwise. *)
+val resolve : ?out:string -> domains:int -> unit -> t
+
+(** [finish t ?out ()] writes the trace to [out] when both are live and
+    returns the (events, drops) counts written.  [None] when disabled. *)
+val finish : t -> ?out:string -> unit -> (int * int) option

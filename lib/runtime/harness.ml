@@ -55,8 +55,21 @@ let final_validation heap mutators =
 
 let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barriers = true)
     ?(seed = 42) ?(workload = Rmutator.Uniform) ?(trace_pause = 0.)
-    ?(obs = Obs.Reporter.null) () =
-  let sh = Rshared.make ~trace_pause ~obs ~n_slots ~n_fields ~n_muts () in
+    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) () =
+  let sh = Rshared.make ~trace_pause ~obs ~tracer ~n_slots ~n_fields ~n_muts () in
+  (* lane 0 is the collector (handshake/mark/sweep spans, emitted by
+     Rcollector); lanes 1..n_muts carry one whole-lifetime span per
+     mutator domain *)
+  let tr_on = Obs.Tracing.enabled tracer in
+  let mut_lane i = i + 1 in
+  if tr_on then begin
+    if Obs.Tracing.lanes tracer >= 1 then Obs.Tracing.set_lane tracer ~dom:0 "collector";
+    for i = 0 to n_muts - 1 do
+      if mut_lane i < Obs.Tracing.lanes tracer then
+        Obs.Tracing.set_lane tracer ~dom:(mut_lane i) (Fmt.str "mutator %d" i)
+    done
+  end;
+  let n_mutator_span = if tr_on then Obs.Tracing.intern tracer "mutator-run" else 0 in
   (* seed each mutator with one root object *)
   let mutators =
     List.init n_muts (fun i ->
@@ -68,15 +81,21 @@ let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barri
     List.mapi
       (fun i m ->
         Domain.spawn (fun () ->
+            let lane_on = tr_on && mut_lane i < Obs.Tracing.lanes tracer in
+            let t0_ns = if lane_on then Obs.Tracing.now tracer else 0 in
             let rng = Random.State.make [| seed; i |] in
-            try Rmutator.run ~workload m rng
-            with Rmutator.Unsafe msg ->
-              Atomic.set violation (Some msg);
-              (* keep servicing handshakes so the collector can stop *)
-              while not (Atomic.get sh.Rshared.stop_muts) do
-                Rmutator.poll m;
-                Domain.cpu_relax ()
-              done))
+            (try Rmutator.run ~workload m rng
+             with Rmutator.Unsafe msg ->
+               Atomic.set violation (Some msg);
+               (* keep servicing handshakes so the collector can stop *)
+               while not (Atomic.get sh.Rshared.stop_muts) do
+                 Rmutator.poll m;
+                 Domain.cpu_relax ()
+               done);
+            if lane_on then
+              Obs.Tracing.span_args tracer ~dom:(mut_lane i) ~name:n_mutator_span ~start_ns:t0_ns
+                ~stop_ns:(Obs.Tracing.now tracer)
+                ~args:[ ("ops", Obs.Json.Int m.Rmutator.ops) ]))
       mutators
   in
   let gc_domain = Domain.spawn (fun () -> Rcollector.run sh) in

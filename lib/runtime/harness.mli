@@ -32,6 +32,7 @@ val run :
   ?workload:Rmutator.workload ->
   ?trace_pause:float ->
   ?obs:Obs.Reporter.t ->
+  ?tracer:Obs.Tracing.t ->
   unit ->
   stats
 (** Run the harness.  [barriers:false] ablates the write barriers (the
@@ -39,4 +40,7 @@ val run :
     collector's tracing window for few-core machines.  When [obs] is an
     enabled reporter, the collector emits one [gc-cycle] record per cycle
     (handshake round latencies, marks, CAS attempts/wins, barrier
-    fast-path rate) and the harness a final [harness] record. *)
+    fast-path rate) and the harness a final [harness] record.  When
+    [tracer] is live (create it with [n_muts + 1] lanes), lane 0 carries
+    the collector's handshake-round, mark, sweep and gc-cycle spans and
+    lanes 1..n_muts one whole-lifetime span per mutator domain. *)

@@ -7,8 +7,16 @@
 
 open Rshared
 
+let hs_span_name = function
+  | Hs_none -> "hs-none"
+  | Hs_nop -> "hs-nop"
+  | Hs_get_roots -> "hs-get-roots"
+  | Hs_get_work -> "hs-get-work"
+
+let tracing sh = Obs.Tracing.enabled sh.tracer && Obs.Tracing.lanes sh.tracer >= 1
+
 let handshake sh typ =
-  let t0 = Unix.gettimeofday () in
+  let t0_ns = Obs.Clock.monotonic_ns () in
   Array.iter (fun slot -> Atomic.set slot typ) sh.hs_req;
   Array.iter
     (fun slot ->
@@ -19,7 +27,12 @@ let handshake sh typ =
   (* round latency: a ragged handshake is only done once the slowest
      mutator acked, so this is the collector-observed stall.  Single
      writer (the collector), so a plain histogram suffices. *)
-  let dt = Unix.gettimeofday () -. t0 in
+  let t1_ns = Obs.Clock.monotonic_ns () in
+  let dt = float_of_int (t1_ns - t0_ns) *. 1e-9 in
+  if tracing sh then
+    Obs.Tracing.span_between sh.tracer ~dom:0
+      ~name:(Obs.Tracing.intern sh.tracer (hs_span_name typ))
+      ~start_ns:t0_ns ~stop_ns:t1_ns;
   Obs.Metrics.aincr sh.hs_rounds;
   Obs.Metrics.observe sh.hs_latency dt;
   dt
@@ -39,7 +52,8 @@ let rec drain sh stack =
 
 let cycle sh =
   let observing = Obs.Reporter.enabled sh.obs in
-  let t_cycle = Unix.gettimeofday () in
+  let tr_on = tracing sh in
+  let t_cycle_ns = Obs.Clock.monotonic_ns () in
   (* counter baselines for this cycle's deltas *)
   let cas_attempts0 = Atomic.get sh.cas_attempts in
   let cas_wins0 = Atomic.get sh.cas_wins in
@@ -65,6 +79,7 @@ let cycle sh =
   (* lines 15-20: sample and mark the roots, raggedly *)
   handshake sh Hs_get_roots;
   (* lines 24-34: trace, then poll the mutators for leftover greys *)
+  let t_mark_ns = Obs.Clock.monotonic_ns () in
   let rec mark_loop () =
     let w = take_global sh in
     if w <> [] then begin
@@ -74,6 +89,7 @@ let cycle sh =
     end
   in
   mark_loop ();
+  let t_sweep_ns = Obs.Clock.monotonic_ns () in
   (* lines 37-45: free the whites *)
   Atomic.set sh.phase Sweep;
   let sense = Atomic.get sh.f_m in
@@ -83,6 +99,24 @@ let cycle sh =
   (* line 46 *)
   Atomic.set sh.phase Idle;
   Atomic.incr sh.cycles;
+  let t_end_ns = Obs.Clock.monotonic_ns () in
+  if tr_on then begin
+    Obs.Tracing.span_between sh.tracer ~dom:0
+      ~name:(Obs.Tracing.intern sh.tracer "mark")
+      ~start_ns:t_mark_ns ~stop_ns:t_sweep_ns;
+    Obs.Tracing.span_between sh.tracer ~dom:0
+      ~name:(Obs.Tracing.intern sh.tracer "sweep")
+      ~start_ns:t_sweep_ns ~stop_ns:t_end_ns;
+    Obs.Tracing.span_args sh.tracer ~dom:0
+      ~name:(Obs.Tracing.intern sh.tracer "gc-cycle")
+      ~start_ns:t_cycle_ns ~stop_ns:t_end_ns
+      ~args:
+        [
+          ("cycle", Obs.Json.Int (Atomic.get sh.cycles));
+          ("freed", Obs.Json.Int (Atomic.get sh.heap.Rheap.frees - frees0));
+          ("live", Obs.Json.Int (Rheap.live_count sh.heap));
+        ]
+  end;
   if observing then begin
     let cas_attempts = Atomic.get sh.cas_attempts - cas_attempts0 in
     let cas_wins = Atomic.get sh.cas_wins - cas_wins0 in
@@ -91,7 +125,7 @@ let cycle sh =
     Obs.Reporter.emit sh.obs "gc-cycle"
       [
         ("cycle", Obs.Json.Int (Atomic.get sh.cycles));
-        ("elapsed_s", Obs.Json.Float (Unix.gettimeofday () -. t_cycle));
+        ("elapsed_s", Obs.Json.Float (float_of_int (t_end_ns - t_cycle_ns) *. 1e-9));
         ( "hs_latency_s",
           Obs.Json.List (List.rev_map (fun dt -> Obs.Json.Float dt) !hs_latencies) );
         ("marks", Obs.Json.Int cas_wins);

@@ -41,12 +41,16 @@ type t = {
      registry would accumulate dead metrics) and an event reporter used by
      the collector for per-cycle records *)
   obs : Obs.Reporter.t;
+  tracer : Obs.Tracing.t;
+    (* span tracer; lane 0 is the collector's timeline (handshake rounds,
+       mark/sweep stages, whole cycles), lanes 1..n_muts the mutators' *)
   registry : Obs.Metrics.registry;
   hs_rounds : Obs.Metrics.acounter;  (* handshake rounds completed *)
   hs_latency : Obs.Metrics.histogram;  (* seconds per round; collector-only writer *)
 }
 
-let make ?(trace_pause = 0.) ?(obs = Obs.Reporter.null) ~n_slots ~n_fields ~n_muts () =
+let make ?(trace_pause = 0.) ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ~n_slots
+    ~n_fields ~n_muts () =
   let registry = Obs.Metrics.create_registry () in
   {
     heap = Rheap.make ~n_slots ~n_fields;
@@ -64,6 +68,7 @@ let make ?(trace_pause = 0.) ?(obs = Obs.Reporter.null) ~n_slots ~n_fields ~n_mu
     cas_wins = Atomic.make 0;
     barrier_fast_path = Atomic.make 0;
     obs;
+    tracer;
     registry;
     hs_rounds = Obs.Metrics.acounter ~registry "hs_rounds";
     hs_latency = Obs.Metrics.histogram ~registry "hs_latency_s";
