@@ -218,11 +218,12 @@ let checker_throughput () =
 
 (* -- checker-par: speedup vs domains ----------------------------------------
 
-   Level-synchronized parallel BFS on the fig10 exhaustive-closure
-   instance, exploring the identical state space at 1, 2 and 4 domains.
-   The speedup column (sequential states/sec over parallel states/sec) is
+   Work-stealing parallel BFS on the fig10 exhaustive-closure instance,
+   exploring the identical state space at 1, 2 and 4 domains.  The
+   speedup column (parallel states/sec over sequential states/sec) is
    what perf PRs diff; the same rows are emitted into the report under
-   "checker_par". *)
+   "checker_par", and benchdiff tracks both states_per_sec and
+   speedup_vs_seq per job count. *)
 
 let checker_par_jobs = [ 1; 2; 4 ]
 
@@ -237,8 +238,9 @@ let checker_par () =
     else 0.
   in
   (* run through a memory reporter so the parallel runs' scaling-detail
-     record (serial fraction, lock and barrier waits — see Par_explore)
-     lands in the report next to the measured speedup it predicts *)
+     record (serial fraction, lock waits, steal and termination-probe
+     counters — see Par_explore) lands in the report next to the
+     measured speedup it predicts *)
   let explore_with_detail jobs =
     let obs, snapshot = Obs.Reporter.memory () in
     let o = Core.Scenario.explore ~jobs ~obs sc in
@@ -283,6 +285,41 @@ let checker_par () =
       ("scenario", Obs.Json.String sc.Core.Scenario.label);
       ("rows", Obs.Json.List rows);
     ]
+
+(* recommended_domains, derived from measurement rather than from
+   [Domain.recommended_domain_count]: the largest measured job count
+   whose measured speedup is >= 1.1x and whose own Amdahl estimate
+   agrees — predicted speedup 1/(s + (1-s)/jobs) >= 1.1, with s the
+   serial fraction the run's scaling-detail record measured.  A row
+   without a scaling-detail estimate falls back to the measurement
+   alone.  1 if no row qualifies (running the checker parallel is not
+   worth it on this host).  The rule is documented in README's
+   benchmark section. *)
+let recommended_domains par =
+  let amdahl_ok jobs speedup row =
+    match
+      Option.bind (Obs.Json.member "scaling_detail" row) (fun d ->
+          Option.bind (Obs.Json.member "serial_fraction" d) Obs.Json.to_float)
+    with
+    | Some s when s >= 0. && s <= 1. ->
+      1. /. (s +. ((1. -. s) /. float_of_int jobs)) >= 1.1
+    | _ -> speedup >= 1.1
+  in
+  let qualifies row =
+    match
+      ( Option.bind (Obs.Json.member "jobs" row) Obs.Json.to_int,
+        Option.bind (Obs.Json.member "speedup_vs_seq" row) Obs.Json.to_float )
+    with
+    | Some jobs, Some speedup when jobs > 1 && speedup >= 1.1 && amdahl_ok jobs speedup row ->
+      Some jobs
+    | _ -> None
+  in
+  let rows =
+    match Obs.Json.member "rows" par with Some (Obs.Json.List l) -> l | _ -> []
+  in
+  List.fold_left
+    (fun acc row -> match qualifies row with Some j -> max acc j | None -> acc)
+    1 rows
 
 (* -- checker-reduce: state-space reduction ----------------------------------
 
@@ -385,14 +422,14 @@ let campaign_bench () =
    blocks.  Written next to the text output so perf PRs can diff
    BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
    revisions can write side by side. *)
-let bench_report_file = ref "BENCH_6.json"
+let bench_report_file = ref "BENCH_7.json"
 let force_gap = ref false
 let against_file : string option ref = ref None
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_6.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_7.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
@@ -475,7 +512,8 @@ let write_report groups checker checker_par checker_reduce campaign =
         ("git_commit", Obs.Json.String git_commit);
         ("hostname", Obs.Json.String (Unix.gethostname ()));
         ("domains_available", Obs.Json.Int (Domain.recommended_domain_count ()));
-        ("recommended_domains", Obs.Json.Int (Domain.recommended_domain_count ()));
+        (* measured, not the runtime heuristic — see [recommended_domains] *)
+        ("recommended_domains", Obs.Json.Int (recommended_domains checker_par));
         ("groups", Obs.Json.List (List.map group_record groups));
         ("checker", checker);
         ("checker_par", checker_par);
@@ -509,9 +547,10 @@ let () =
   in
   cleanup ();
   let checker = checker_throughput () in
-  Fmt.pr "=== checker-par (speedup vs domains, %d recommended) ===@."
+  Fmt.pr "=== checker-par (speedup vs domains, %d available) ===@."
     (Domain.recommended_domain_count ());
   let checker_par = checker_par () in
+  Fmt.pr "  %-44s %12d@." "recommended-domains (measured)" (recommended_domains checker_par);
   Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
   let checker_reduce = checker_reduce () in
   Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";

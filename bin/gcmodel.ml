@@ -123,8 +123,8 @@ let trace_out_term =
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:
           "Write a Chrome trace-event JSON timeline to $(docv) (load it in Perfetto or \
-           chrome://tracing): one lane per worker domain, with per-level slice, phase and \
-           barrier-wait spans (explore) or per-walker spans (walk).")
+           chrome://tracing): one lane per worker domain, with expand/phase, steal, \
+           steal-fail and termination-probe spans (explore) or per-walker spans (walk).")
 
 (* finish the tracer and tell the user where the timeline went *)
 let close_trace tracer trace_out =
@@ -159,7 +159,7 @@ let jobs =
     & info [ "jobs"; "j" ]
         ~doc:
           "Worker domains. 1 (the default) is the sequential checker; higher values run the \
-           level-synchronized parallel BFS (explore) or the random-walk swarm (walk).")
+           work-stealing parallel BFS (explore, crosscheck) or the random-walk swarm (walk).")
 
 let model_of (cfg, _v) shape =
   match Gcheap.Shapes.by_name ~n_refs:cfg.Core.Config.n_refs ~n_fields:cfg.Core.Config.n_fields shape with
@@ -263,7 +263,7 @@ let walk_cmd =
       $ reduce_term ~default:"none" $ explain_file $ trace_out_term $ obs_term)
 
 let crosscheck_cmd =
-  let run cv shape safety_only max_states reduce explain obs =
+  let run cv shape safety_only max_states jobs reduce explain obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     (match reduce with
@@ -278,6 +278,38 @@ let crosscheck_cmd =
         ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Reduce.Crosscheck.pp r;
+    (* --jobs N extends the agreement obligation to the work-stealing
+       checker: verdict, violated invariant and counterexample length
+       must match the sequential full run at N domains, both unreduced
+       and under the reducer *)
+    let jobs_errors =
+      if jobs <= 1 then []
+      else begin
+        let invariants = invariants_of cfg safety_only in
+        let verdict (o : _ Check.Explore.outcome) =
+          match o.Check.Explore.violation with
+          | None -> "clean"
+          | Some tr ->
+            Fmt.str "violates %s, counterexample length %d" tr.Check.Trace.broken
+              (Check.Trace.length tr)
+        in
+        let seq = Check.Explore.run ~max_states ~invariants model.Core.Model.system in
+        let base = verdict seq in
+        let par_run ?reducer label =
+          let o =
+            Check.Par_explore.run ~jobs ~max_states ?reducer ~invariants
+              model.Core.Model.system
+          in
+          let pv = verdict o in
+          if pv = base then begin
+            Fmt.pr "jobs equivalence OK (jobs=%d, %s)@." jobs label;
+            []
+          end
+          else [ Fmt.str "jobs=%d %s: %s, but sequential: %s" jobs label pv base ]
+        in
+        par_run "unreduced" @ par_run ~reducer "reduced"
+      end
+    in
     (* the cross-check aggregates outcomes but keeps no trace; regenerate
        the reduced counterexample (deterministic) if a report was asked for *)
     (match explain with
@@ -289,7 +321,7 @@ let crosscheck_cmd =
       in
       explain_violation ~html:explain ~obs cfg o.Check.Explore.violation);
     Obs.Reporter.close obs;
-    match Reduce.Crosscheck.errors r with
+    match Reduce.Crosscheck.errors r @ jobs_errors with
     | [] -> Fmt.pr "cross-check OK@."
     | errs ->
       List.iter (Fmt.epr "cross-check FAILED: %s@.") errs;
@@ -300,9 +332,11 @@ let crosscheck_cmd =
        ~doc:
          "Run reduced and unreduced exploration on the same instance and verify they agree \
           (verdict, violated invariant, counterexample length, reduced <= full states). \
+          With --jobs N, also verify the work-stealing parallel checker reports the same \
+          verdict, invariant and counterexample length at N domains, unreduced and reduced. \
           Exits 1 on mismatch.")
     Term.(
-      const run $ cfg_term $ shape_term $ safety_only $ max_states
+      const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
       $ reduce_term ~default:"all" $ explain_file $ obs_term)
 
 let explain_cmd =

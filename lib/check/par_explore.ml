@@ -1,36 +1,75 @@
-(* Parallel exhaustive exploration: level-synchronized BFS across OCaml 5
-   domains.
+(* Parallel exhaustive exploration: asynchronous work-stealing BFS across
+   OCaml 5 domains.
 
-   The state space is explored one BFS level at a time; a level's frontier
-   is split into contiguous slices, one worker domain per slice, and the
-   workers meet at a barrier (Domain.join) before the next level starts.
-   Level synchronization preserves the shortest-counterexample semantics
-   of the sequential explorer: a violation discovered at level d+1 cannot
-   be preempted by a shorter one, because every state of depth <= d was
-   inserted at an earlier level.
+   A persistent pool of [jobs] worker domains is spawned once per run.
+   Each worker expands states from its own deque (a growable ring guarded
+   by a contention-probed mutex), pushes fresh successors locally, and,
+   when its deque runs dry, steals half of the first non-empty victim
+   deque it finds.  There is no level barrier: termination is detected by
+   an atomic active-task counter — the counter is incremented before a
+   task is published and decremented only after its expansion (including
+   the publication of its successors) completes, so a worker that observes
+   zero pending tasks knows the whole exploration is quiescent.
 
-   Memory layout is the point of the exercise (cf. "Reducing State
-   Explosion for Software Model Checking with Relaxed Memory Consistency
-   Models"): full states live only in the current and next frontier.  The
-   seen-set is sharded by the low bits of the compact structural
-   fingerprint (Fingerprint.hash) into independently-locked
-   open-addressing tables over unboxed int bigarrays, storing three words
-   per state — fingerprint, parent fingerprint, packed event — so the
-   closed set costs 24 bytes/state regardless of state size.
-   Counterexamples are rebuilt by bounded replay of the recorded event
-   chain, exactly as in the sequential explorer.
+   Correctness without level synchronization rests on depth stamps.
+   Every seen-set entry carries the length of the shortest discovered
+   path from the root; when a shorter path to a known state is found the
+   entry's (depth, parent, event) triple is atomically improved and the
+   state is re-enqueued, so stamps relax down to true BFS distances by
+   the time the counter reaches zero (a fixpoint: any improvement
+   re-publishes work, so quiescence implies no improvement is possible).
+   Violations update an atomic best-(depth, fingerprint) cell with
+   min-tie-break; expansions at depth >= best are pruned.  Because every
+   state at the minimal violating depth d* has all its ancestors at
+   depths < d* <= best, the relaxation chain leading to each minimal
+   violation is never pruned, so the cell converges to the minimal
+   (depth, fingerprint) violation and the parent chain of that
+   fingerprint has exactly best-depth edges — the counterexample replay
+   (identical to the sequential explorer's) returns a shortest trace.
 
-   Determinism: on a run with no violation, {states, transitions, depth,
-   deadlocks, covered} are equal to the sequential explorer's for every
-   [jobs] (the BFS level sets are scheduling-independent; only which
-   parent a state records is racy, which affects neither counts nor
-   verdicts).  On a violating run all equal-depth (shortest) violations
-   are collected at the level barrier and the one with the smallest
-   fingerprint is reported, so the verdict and trace length are
-   deterministic; the sequential explorer additionally stops mid-level,
-   so state counts of violating runs are not comparable across [jobs]. *)
+   Memory layout (cf. "Reducing State Explosion for Software Model
+   Checking with Relaxed Memory Consistency Models"): full states live
+   only in the deques.  The seen-set is sharded by the low bits of the
+   compact structural fingerprint (Fingerprint.hash) into
+   independently-locked open-addressing tables over unboxed int
+   bigarrays, storing four words per state — fingerprint, parent
+   fingerprint, packed event, and a meta word (depth | violated-invariant
+   | expanded bit) — so the closed set costs 32 bytes/state regardless of
+   state size.
+
+   Determinism: on a non-truncated run with no violation, {states,
+   transitions, depth, deadlocks, covered} are equal to the sequential
+   explorer's for every [jobs] (every reachable state is inserted exactly
+   once, and transitions/deadlocks are counted only on a state's first
+   expansion; re-expansions triggered by depth improvement recount
+   nothing).  On a violating run the verdict, the violated invariant and
+   the counterexample length are deterministic across [jobs] (minimal
+   depth, smallest fingerprint as tie-break); state counts of violating
+   runs are not comparable because pruning races with discovery. *)
 
 type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
+
+(* -- scheduler hooks ---------------------------------------------------------
+
+   Observation points on the worker scheduler, injectable from tests to
+   pin down termination-detection interleavings (e.g. force a worker to
+   sit in its quiescence probe while another publishes work).  The
+   default hooks do nothing and cost one call per event. *)
+
+type hooks = {
+  on_expand : worker:int -> depth:int -> unit;
+  on_idle : worker:int -> unit;
+  on_steal : worker:int -> victim:int -> stolen:int -> unit;
+  on_probe : worker:int -> pending:int -> unit;
+}
+
+let no_hooks =
+  {
+    on_expand = (fun ~worker:_ ~depth:_ -> ());
+    on_idle = (fun ~worker:_ -> ());
+    on_steal = (fun ~worker:_ ~victim:_ ~stolen:_ -> ());
+    on_probe = (fun ~worker:_ ~pending:_ -> ());
+  }
 
 (* -- packed events ----------------------------------------------------------
 
@@ -96,41 +135,70 @@ let decode_event labels code =
 
    [n_shards] independently-locked open-addressing tables with linear
    probing.  The shard is picked by the fingerprint's low bits, the slot
-   by the next bits, so the two indices do not alias.  Keys, parents and
-   packed events are parallel unboxed int arrays; key 0 marks an empty
-   slot (Fingerprint.hash is never 0). *)
+   by the next bits, so the two indices do not alias.  Keys, parents,
+   meta words and packed events are parallel unboxed int arrays; key 0
+   marks an empty slot (Fingerprint.hash is never 0).
+
+   The meta word packs, from bit 0: the depth stamp (40 bits, length of
+   the shortest discovered root path), the violated-invariant index + 1
+   (16 bits, 0 = no violation), and the expanded bit (bit 56, set on the
+   entry's first expansion so counts are first-expansion-only).
+
+   Concurrency audit of the growth path (the 70%-load doubling): [add],
+   [begin_expand], [mark_violation] and [find] all run their whole
+   probe/mutate sequence under the shard's mutex, and [grow] is only
+   called from inside [add]'s critical section, so two workers can never
+   resize the same shard concurrently and an insert can never land in a
+   table that a concurrent resize is about to discard — the classic
+   lost-insert race requires a load-factor check outside the lock, which
+   this module never does.  The doubling is a [while] loop rather than a
+   single [if] so the invariant "post-insert load <= 70%" survives any
+   future batched-insert caller.  The multi-domain hammer test
+   (test_check: "seen shard resize hammer") drives dozens of concurrent
+   resizes on one shard and checks every insert survives. *)
 
 module Seen = struct
   let n_shards = 64
   let shard_bits = 6 (* log2 n_shards *)
+  let depth_bits = 40
+  let depth_mask = (1 lsl depth_bits) - 1
+  let viol_bits = 16
+  let viol_shift = depth_bits
+  let viol_mask = (1 lsl viol_bits) - 1
+  let expanded_bit = 1 lsl (depth_bits + viol_bits)
 
-  (* Shard mutexes are contention-probed (Obs.Contention): uncontended
-     acquires stay a single try_lock, contended ones record their wait so
-     the end-of-run scaling-detail record can attribute lock time per
-     shard. *)
+  (* largest violated-invariant index the meta word can carry *)
+  let max_violation_index = viol_mask - 2
+
   type shard = {
     lock : Obs.Contention.lock;
     mutable keys : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
     mutable parents : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+    mutable meta : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
     mutable events : int array;
     mutable count : int;
   }
 
   type t = shard array
 
+  type add_result = Fresh | Improved of int | Stale
+
   let make_arr cap =
     let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
     Bigarray.Array1.fill a 0;
     a
 
-  let shard_cap = 1024 (* initial slots per shard; doubles at 70% load *)
+  let default_shard_cap = 1024 (* initial slots per shard; doubles at 70% load *)
 
-  let create () =
+  let create ?(shard_cap = default_shard_cap) () =
+    if shard_cap <= 0 || shard_cap land (shard_cap - 1) <> 0 then
+      invalid_arg "Par_explore.Seen.create: shard_cap must be a power of two";
     Array.init n_shards (fun _ ->
         {
           lock = Obs.Contention.make_lock ();
           keys = make_arr shard_cap;
           parents = make_arr shard_cap;
+          meta = make_arr shard_cap;
           events = Array.make shard_cap 0;
           count = 0;
         })
@@ -153,6 +221,7 @@ module Seen = struct
     let cap = 2 * old_cap in
     let keys = make_arr cap in
     let parents = make_arr cap in
+    let meta = make_arr cap in
     let events = Array.make cap 0 in
     for i = 0 to old_cap - 1 do
       let k = Bigarray.Array1.unsafe_get s.keys i in
@@ -160,31 +229,89 @@ module Seen = struct
         let j = probe keys cap k in
         Bigarray.Array1.unsafe_set keys j k;
         Bigarray.Array1.unsafe_set parents j (Bigarray.Array1.unsafe_get s.parents i);
+        Bigarray.Array1.unsafe_set meta j (Bigarray.Array1.unsafe_get s.meta i);
         events.(j) <- s.events.(i)
       end
     done;
     s.keys <- keys;
     s.parents <- parents;
+    s.meta <- meta;
     s.events <- events
 
-  (* [add t fp ~parent ~event] returns true iff [fp] was not present,
-     recording (parent, event) for replay when it is fresh. *)
-  let add (t : t) fp ~parent ~event =
+  (* [add t fp ~parent ~event ~depth] inserts or relaxes: [Fresh] if [fp]
+     was absent, [Improved v] if it was present with a larger depth stamp
+     (the triple is rewritten; [v] is the entry's violated-invariant
+     index, -1 if none, so the caller can re-offer the violation at the
+     better depth), [Stale] otherwise.  The expanded bit survives an
+     improvement: re-expansion must not recount transitions. *)
+  let add (t : t) fp ~parent ~event ~depth =
     let s = shard t fp in
     Obs.Contention.lock s.lock;
-    let cap = Bigarray.Array1.dim s.keys in
-    if 10 * (s.count + 1) > 7 * cap then grow s;
+    while 10 * (s.count + 1) > 7 * Bigarray.Array1.dim s.keys do
+      grow s
+    done;
     let cap = Bigarray.Array1.dim s.keys in
     let i = probe s.keys cap fp in
-    let fresh = Bigarray.Array1.unsafe_get s.keys i = 0 in
-    if fresh then begin
-      Bigarray.Array1.unsafe_set s.keys i fp;
-      Bigarray.Array1.unsafe_set s.parents i parent;
-      s.events.(i) <- event;
-      s.count <- s.count + 1
-    end;
+    let r =
+      if Bigarray.Array1.unsafe_get s.keys i = 0 then begin
+        Bigarray.Array1.unsafe_set s.keys i fp;
+        Bigarray.Array1.unsafe_set s.parents i parent;
+        Bigarray.Array1.unsafe_set s.meta i depth;
+        s.events.(i) <- event;
+        s.count <- s.count + 1;
+        Fresh
+      end
+      else begin
+        let m = Bigarray.Array1.unsafe_get s.meta i in
+        if depth < m land depth_mask then begin
+          Bigarray.Array1.unsafe_set s.meta i ((m land lnot depth_mask) lor depth);
+          Bigarray.Array1.unsafe_set s.parents i parent;
+          s.events.(i) <- event;
+          Improved (((m lsr viol_shift) land viol_mask) - 1)
+        end
+        else Stale
+      end
+    in
     Obs.Contention.unlock s.lock;
-    fresh
+    r
+
+  (* Record that [fp] violates invariant [idx] (kept in the meta word so a
+     later depth improvement can re-offer the violation). *)
+  let mark_violation (t : t) fp idx =
+    let s = shard t fp in
+    Obs.Contention.lock s.lock;
+    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
+    if Bigarray.Array1.unsafe_get s.keys i = fp then begin
+      let m = Bigarray.Array1.unsafe_get s.meta i in
+      Bigarray.Array1.unsafe_set s.meta i
+        ((m land lnot (viol_mask lsl viol_shift)) lor ((idx + 1) lsl viol_shift))
+    end;
+    Obs.Contention.unlock s.lock
+
+  (* A task's claim to expand [fp] at stamp [depth]: [`Stale] when the
+     entry has since improved below [depth] (a fresher task for the same
+     state is in flight), otherwise the entry's current depth, tagged
+     [`First] exactly once per entry so transition/deadlock counts are
+     first-expansion-only. *)
+  let begin_expand (t : t) fp ~depth =
+    let s = shard t fp in
+    Obs.Contention.lock s.lock;
+    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
+    let r =
+      if Bigarray.Array1.unsafe_get s.keys i <> fp then `Stale
+      else begin
+        let m = Bigarray.Array1.unsafe_get s.meta i in
+        let d = m land depth_mask in
+        if d < depth then `Stale
+        else if m land expanded_bit = 0 then begin
+          Bigarray.Array1.unsafe_set s.meta i (m lor expanded_bit);
+          `First d
+        end
+        else `Again d
+      end
+    in
+    Obs.Contention.unlock s.lock;
+    r
 
   let find (t : t) fp =
     let s = shard t fp in
@@ -198,16 +325,122 @@ module Seen = struct
     Obs.Contention.unlock s.lock;
     r
 
+  let depth_of (t : t) fp =
+    let s = shard t fp in
+    Obs.Contention.lock s.lock;
+    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
+    let r =
+      if Bigarray.Array1.unsafe_get s.keys i = fp then
+        Some (Bigarray.Array1.unsafe_get s.meta i land depth_mask)
+      else None
+    in
+    Obs.Contention.unlock s.lock;
+    r
+
+  let count (t : t) = Array.fold_left (fun acc s -> acc + s.count) 0 t
+  let capacity (t : t) = Array.fold_left (fun acc s -> acc + Bigarray.Array1.dim s.keys) 0 t
+
+  let max_depth (t : t) =
+    let best = ref 0 in
+    Array.iter
+      (fun s ->
+        for i = 0 to Bigarray.Array1.dim s.keys - 1 do
+          if Bigarray.Array1.unsafe_get s.keys i <> 0 then
+            best := max !best (Bigarray.Array1.unsafe_get s.meta i land depth_mask)
+        done)
+      t;
+    !best
+
   let locks (t : t) = Array.map (fun s -> s.lock) t
+end
+
+(* -- per-worker deques -------------------------------------------------------
+
+   A growable ring of tasks guarded by a contention-probed mutex; the
+   owner pops small batches from the front (FIFO keeps expansion close to
+   BFS order, which minimizes depth-improvement re-expansions), thieves
+   take half (rounded up) from the front.  A mutex per deque is ample
+   here: the owner amortizes it over a batch, and steals are rare
+   compared to expansions. *)
+
+module Deque = struct
+  type 'task t = {
+    lock : Obs.Contention.lock;
+    mutable buf : 'task array;
+    mutable head : int;
+    mutable len : int;
+    dummy : 'task;
+  }
+
+  let create ~dummy =
+    { lock = Obs.Contention.make_lock (); buf = Array.make 64 dummy; head = 0; len = 0; dummy }
+
+  (* racy size read: victim-selection hint only, re-checked under lock *)
+  let size d = d.len
+
+  let ensure d extra =
+    let cap = Array.length d.buf in
+    if d.len + extra > cap then begin
+      let cap' = ref (2 * cap) in
+      while d.len + extra > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let buf = Array.make !cap' d.dummy in
+      for i = 0 to d.len - 1 do
+        buf.(i) <- d.buf.((d.head + i) mod cap)
+      done;
+      d.buf <- buf;
+      d.head <- 0
+    end
+
+  let push_list d tasks =
+    Obs.Contention.lock d.lock;
+    ensure d (List.length tasks);
+    let cap = Array.length d.buf in
+    List.iter
+      (fun t ->
+        d.buf.((d.head + d.len) mod cap) <- t;
+        d.len <- d.len + 1)
+      tasks;
+    Obs.Contention.unlock d.lock
+
+  (* [m] front tasks in order; caller locks.  Slots are cleared so popped
+     states do not outlive their expansion. *)
+  let take_front_locked d m =
+    let cap = Array.length d.buf in
+    let out = ref [] in
+    for i = m - 1 downto 0 do
+      let j = (d.head + i) mod cap in
+      out := d.buf.(j) :: !out;
+      d.buf.(j) <- d.dummy
+    done;
+    d.head <- (d.head + m) mod cap;
+    d.len <- d.len - m;
+    !out
+
+  let pop_batch d k =
+    Obs.Contention.lock d.lock;
+    let r = take_front_locked d (min k d.len) in
+    Obs.Contention.unlock d.lock;
+    r
+
+  let steal d =
+    Obs.Contention.lock d.lock;
+    let r = take_front_locked d ((d.len + 1) / 2) in
+    Obs.Contention.unlock d.lock;
+    r
+
+  let locks ds = Array.map (fun d -> d.lock) ds
 end
 
 (* -- the explorer ------------------------------------------------------------ *)
 
 let max_jobs = 64
+let pop_batch_size = 8
 
 let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
-    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000) ?reducer
-    ~invariants initial =
+    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000)
+    ?(hooks = no_hooks) ?reducer ~invariants initial =
   let jobs = max 1 (min jobs max_jobs) in
   if jobs = 1 then
     (* the sequential explorer is the jobs=1 semantics, bit for bit *)
@@ -220,29 +453,67 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     let initial = norm initial in
     let label_ids, labels = intern_labels initial in
     let seen = Seen.create () in
+    let inv_names = Array.of_list (List.map fst invariants) in
+    if Array.length inv_names > Seen.max_violation_index + 1 then
+      invalid_arg "Par_explore: too many invariants to pack";
+    let inv_index =
+      let tbl = Hashtbl.create 16 in
+      Array.iteri (fun i name -> if not (Hashtbl.mem tbl name) then Hashtbl.add tbl name i) inv_names;
+      fun name -> match Hashtbl.find_opt tbl name with Some i -> i | None -> 0
+    in
     (* phase timing per state is only paid when a trace is being recorded;
-       per-level accounting (two clock reads per slice) is always on, so
-       the scaling-detail record is available to any obs sink *)
+       per-worker busy/idle accounting (two clock reads per batch, one per
+       idle episode) is always on, so the scaling-detail record is
+       available to any obs sink *)
     let tr_on = Obs.Tracing.enabled tracer && Obs.Tracing.lanes tracer >= jobs in
-    let n_level = if tr_on then Obs.Tracing.intern tracer "level" else 0 in
-    let n_slice = if tr_on then Obs.Tracing.intern tracer "slice" else 0 in
+    let n_expand = if tr_on then Obs.Tracing.intern tracer "expand" else 0 in
     let n_succ = if tr_on then Obs.Tracing.intern tracer "successor-gen" else 0 in
     let n_fp = if tr_on then Obs.Tracing.intern tracer "normalize+fingerprint" else 0 in
     let n_ins = if tr_on then Obs.Tracing.intern tracer "seen-insert" else 0 in
     let n_inv = if tr_on then Obs.Tracing.intern tracer "invariants" else 0 in
-    let n_barrier = if tr_on then Obs.Tracing.intern tracer "barrier-wait" else 0 in
+    let n_push = if tr_on then Obs.Tracing.intern tracer "deque-push" else 0 in
+    let n_steal = if tr_on then Obs.Tracing.intern tracer "steal" else 0 in
+    let n_steal_fail = if tr_on then Obs.Tracing.intern tracer "steal-fail" else 0 in
+    let n_probe = if tr_on then Obs.Tracing.intern tracer "termination-probe" else 0 in
     if tr_on then
       for d = 0 to jobs - 1 do
         Obs.Tracing.set_lane tracer ~dom:d (Fmt.str "worker %d" d)
       done;
     let busy_ns = Array.make jobs 0 in
-    let barrier_ns = Array.make jobs 0 in
+    let idle_ns = Array.make jobs 0 in
+    let steals = Array.make jobs 0 in
+    let steal_fails = Array.make jobs 0 in
+    let stolen_tasks = Array.make jobs 0 in
+    let term_probes = Array.make jobs 0 in
     let states = Atomic.make 0 in
     let transitions = Atomic.make 0 in
     let deadlocks = Atomic.make 0 in
     let truncated = Atomic.make false in
-    let depth = ref 0 in
-    let violation = ref None in
+    (* best violation: (depth, fingerprint) with min-tie-break.  The depth
+       mirror is atomic so the expansion fast path can prune without
+       taking the mutex; fp/inv are only read after the pool joins. *)
+    let best_lock = Mutex.create () in
+    let best_depth = Atomic.make max_int in
+    let best_fp = ref 0 in
+    let best_inv = ref (-1) in
+    let offer ~depth ~fp ~inv =
+      if depth <= Atomic.get best_depth then begin
+        Mutex.lock best_lock;
+        let d0 = Atomic.get best_depth in
+        if depth < d0 || (depth = d0 && fp < !best_fp) then begin
+          best_fp := fp;
+          best_inv := inv;
+          Atomic.set best_depth depth
+        end;
+        Mutex.unlock best_lock
+      end
+    in
+    (* termination detection: [pending] counts published-but-unfinished
+       tasks.  It is incremented before tasks become visible in any deque
+       and decremented only after a task's expansion (successor
+       publication included) completes, so pending = 0 observed by any
+       worker means the exploration is quiescent and can never wake up. *)
+    let pending = Atomic.make 0 in
     (* worker-indexed so each domain owns its instrumentation arrays *)
     let ivs = Array.init jobs (fun _ -> Inv_stats.make ~obs invariants) in
     let coverage =
@@ -256,6 +527,13 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           Hashtbl.replace coverage.(w) (requester, req_label) ();
           Hashtbl.replace coverage.(w) (responder, resp_label) ()
       end
+    in
+    let fp0 = Fingerprint.hash (fp_of initial) in
+    let dummy_task = (fp0, initial, 0) in
+    let deques = Array.init jobs (fun _ -> Deque.create ~dummy:dummy_task) in
+    let publish w tasks =
+      ignore (Atomic.fetch_and_add pending (List.length tasks));
+      Deque.push_list deques.(w) tasks
     in
     let reconstruct fp broken =
       (* chain of (fingerprint, packed event) from the root to [fp] ... *)
@@ -287,210 +565,240 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       in
       { Trace.initial; steps = replay initial chain []; broken }
     in
-    (* One worker's share of a level: expand frontier[lo..hi), insert fresh
-       successors into the shared seen-set, return them (with the level's
-       invariant violations) for the next frontier.  Each worker emits its
-       own heartbeats, tagged with its domain index, and returns its busy
-       interval plus (when tracing) per-phase time so the coordinator can
-       write this level's spans into the worker's lane after the join. *)
-    let process_slice w (frontier : (int * _) array) lo hi level =
+    (* One worker: expand tasks from the own deque, steal when dry, exit
+       at quiescence.  Each worker emits its own heartbeats (tagged with
+       its domain index) and writes spans only into its own lane, so the
+       single-writer-per-lane tracing discipline holds without any
+       coordinator involvement. *)
+    let worker w () =
       let iv = ivs.(w) in
-      let next = ref [] in
-      let viols = ref [] in
+      let own = deques.(w) in
+      (* per-phase accumulators, flushed as one [expand] span (phase
+         children laid back to back inside it) every heartbeat interval
+         and when the worker goes idle *)
+      let span_start = ref (Obs.Clock.monotonic_ns ()) in
+      let span_states = ref 0 in
+      let succ_ns = ref 0 and fp_ns = ref 0 and ins_ns = ref 0 in
+      let inv_ns = ref 0 and push_ns = ref 0 in
       let expanded = ref 0 in
       let hb_expanded = ref 0 in
-      let slice_start = Obs.Clock.monotonic_ns () in
-      let hb_time = ref slice_start in
-      let succ_ns = ref 0 and fp_ns = ref 0 and ins_ns = ref 0 and inv_ns = ref 0 in
-      for i = lo to hi - 1 do
-        let fp, sys = frontier.(i) in
-        let succs =
-          if tr_on then begin
-            let t = Obs.Clock.monotonic_ns () in
-            let r = Reducer.succs_of reducer sys in
-            succ_ns := !succ_ns + (Obs.Clock.monotonic_ns () - t);
-            r
-          end
-          else Reducer.succs_of reducer sys
-        in
-        if succs = [] then Atomic.incr deadlocks;
-        List.iter
-          (fun (event, sys') ->
-            if Atomic.get states < max_states then begin
-              Atomic.incr transitions;
-              record_event w event;
-              let sys', fp' =
-                if tr_on then begin
-                  let t = Obs.Clock.monotonic_ns () in
-                  let sys' = norm sys' in
-                  let fp' = Fingerprint.hash (fp_of sys') in
-                  fp_ns := !fp_ns + (Obs.Clock.monotonic_ns () - t);
-                  (sys', fp')
-                end
-                else
-                  let sys' = norm sys' in
-                  (sys', Fingerprint.hash (fp_of sys'))
-              in
-              let fresh =
-                if tr_on then begin
-                  let t = Obs.Clock.monotonic_ns () in
-                  let r = Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event) in
-                  ins_ns := !ins_ns + (Obs.Clock.monotonic_ns () - t);
-                  r
-                end
-                else Seen.add seen fp' ~parent:fp ~event:(encode_event label_ids event)
-              in
-              if fresh then begin
-                let n = Atomic.fetch_and_add states 1 + 1 in
-                if n >= max_states then Atomic.set truncated true;
-                next := (fp', sys') :: !next;
-                let verdict =
-                  if tr_on then begin
-                    let t = Obs.Clock.monotonic_ns () in
-                    let r = iv.Inv_stats.check sys' in
-                    inv_ns := !inv_ns + (Obs.Clock.monotonic_ns () - t);
-                    r
-                  end
-                  else iv.Inv_stats.check sys'
-                in
-                match verdict with
-                | Some name -> viols := (fp', name) :: !viols
-                | None -> ()
-              end
-            end
-            else Atomic.set truncated true)
-          succs;
-        incr expanded;
-        if Obs.Reporter.enabled obs && !expanded - !hb_expanded >= heartbeat_every then begin
+      let hb_time = ref !span_start in
+      let timed acc f =
+        if tr_on then begin
+          let t = Obs.Clock.monotonic_ns () in
+          let r = f () in
+          acc := !acc + (Obs.Clock.monotonic_ns () - t);
+          r
+        end
+        else f ()
+      in
+      let flush_span () =
+        if tr_on && !span_states > 0 then begin
+          let stop = Obs.Clock.monotonic_ns () in
+          Obs.Tracing.span_args tracer ~dom:w ~name:n_expand ~start_ns:!span_start ~stop_ns:stop
+            ~args:[ ("states", Obs.Json.Int !span_states) ];
+          let cursor = ref !span_start in
+          List.iter
+            (fun (name, acc) ->
+              if !acc > 0 then begin
+                Obs.Tracing.span_between tracer ~dom:w ~name ~start_ns:!cursor
+                  ~stop_ns:(!cursor + !acc);
+                cursor := !cursor + !acc;
+                acc := 0
+              end)
+            [ (n_succ, succ_ns); (n_fp, fp_ns); (n_ins, ins_ns); (n_inv, inv_ns); (n_push, push_ns) ];
+          span_states := 0
+        end;
+        span_start := Obs.Clock.monotonic_ns ()
+      in
+      let heartbeat () =
+        if !expanded - !hb_expanded >= heartbeat_every then begin
           let now_ns = Obs.Clock.monotonic_ns () in
-          let interval = float_of_int (now_ns - !hb_time) *. 1e-9 in
-          let rate =
-            if interval > 0. then float_of_int (!expanded - !hb_expanded) /. interval else 0.
-          in
-          let gc = Gc.quick_stat () in
-          Obs.Reporter.emit obs "heartbeat"
-            [
-              ("checker", Obs.Json.String "par-explore");
-              ("domain", Obs.Json.Int w);
-              ("level", Obs.Json.Int level);
-              ("frontier", Obs.Json.Int (Array.length frontier));
-              ("states", Obs.Json.Int (Atomic.get states));
-              ("max_states", Obs.Json.Int max_states);
-              ("transitions", Obs.Json.Int (Atomic.get transitions));
-              ("states_per_sec", Obs.Json.Float rate);
-              ("heap_words", Obs.Json.Int gc.Gc.heap_words);
-            ];
+          if Obs.Reporter.enabled obs then begin
+            let interval = float_of_int (now_ns - !hb_time) *. 1e-9 in
+            let rate =
+              if interval > 0. then float_of_int (!expanded - !hb_expanded) /. interval else 0.
+            in
+            let gc = Gc.quick_stat () in
+            Obs.Reporter.emit obs "heartbeat"
+              [
+                ("checker", Obs.Json.String "par-explore");
+                ("domain", Obs.Json.Int w);
+                ("frontier", Obs.Json.Int (Atomic.get pending));
+                ("states", Obs.Json.Int (Atomic.get states));
+                ("max_states", Obs.Json.Int max_states);
+                ("transitions", Obs.Json.Int (Atomic.get transitions));
+                ("states_per_sec", Obs.Json.Float rate);
+                ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+              ]
+          end;
+          flush_span ();
           hb_expanded := !expanded;
           hb_time := now_ns
         end
-      done;
-      let slice_stop = Obs.Clock.monotonic_ns () in
-      (!next, !viols, (slice_start, slice_stop, !succ_ns, !fp_ns, !ins_ns, !inv_ns))
-    in
-    (* root *)
-    let fp0 = Fingerprint.hash (fp_of initial) in
-    ignore (Seen.add seen fp0 ~parent:0 ~event:0);
-    Atomic.set states 1;
-    (match ivs.(0).Inv_stats.check initial with
-    | Some name -> violation := Some { Trace.initial; steps = []; broken = name }
-    | None -> ());
-    (* level loop; [d] is the depth of the frontier being expanded *)
-    let rec loop frontier d =
-      if Array.length frontier > 0 && !violation = None && not (Atomic.get truncated) then begin
-        let len = Array.length frontier in
-        let level_start = Obs.Clock.monotonic_ns () in
-        (* tiny levels are not worth a fork-join round trip *)
-        let k = if len < 4 * jobs then 1 else jobs in
-        let results =
-          if k = 1 then [ process_slice 0 frontier 0 len d ]
+      in
+      let process (fp, sys, d_task) =
+        (match Seen.begin_expand seen fp ~depth:d_task with
+        | `Stale -> ()
+        | (`First d | `Again d) as claim ->
+          if (not (Atomic.get truncated)) && d < Atomic.get best_depth then begin
+            let first = match claim with `First _ -> true | `Again _ -> false in
+            hooks.on_expand ~worker:w ~depth:d;
+            let succs = timed succ_ns (fun () -> Reducer.succs_of reducer sys) in
+            if succs = [] && first then Atomic.incr deadlocks;
+            let out = ref [] in
+            List.iter
+              (fun (event, sys') ->
+                if Atomic.get states < max_states then begin
+                  if first then Atomic.incr transitions;
+                  record_event w event;
+                  let sys', fp' =
+                    timed fp_ns (fun () ->
+                        let sys' = norm sys' in
+                        (sys', Fingerprint.hash (fp_of sys')))
+                  in
+                  let d' = d + 1 in
+                  (* depth > best can neither beat the violation nor lie on
+                     a minimal chain (ancestors of minimal violations stay
+                     strictly below best); depth = best must still be
+                     inserted and checked for the fingerprint tie-break *)
+                  if d' <= Atomic.get best_depth then begin
+                    let added =
+                      timed ins_ns (fun () ->
+                          Seen.add seen fp' ~parent:fp
+                            ~event:(encode_event label_ids event)
+                            ~depth:d')
+                    in
+                    match added with
+                    | Seen.Fresh ->
+                      let n = Atomic.fetch_and_add states 1 + 1 in
+                      if n >= max_states then Atomic.set truncated true;
+                      (match timed inv_ns (fun () -> iv.Inv_stats.check sys') with
+                      | Some name ->
+                        let idx = inv_index name in
+                        Seen.mark_violation seen fp' idx;
+                        offer ~depth:d' ~fp:fp' ~inv:idx
+                      | None -> ());
+                      if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
+                    | Seen.Improved viol ->
+                      if viol >= 0 then offer ~depth:d' ~fp:fp' ~inv:viol;
+                      if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
+                    | Seen.Stale -> ()
+                  end
+                end
+                else Atomic.set truncated true)
+              succs;
+            if !out <> [] then timed push_ns (fun () -> publish w (List.rev !out));
+            incr expanded;
+            incr span_states;
+            heartbeat ()
+          end);
+        Atomic.decr pending
+      in
+      (* round-robin sweep from w+1; steal half of the first victim that
+         yields anything *)
+      let try_steal () =
+        let rec go k =
+          if k >= jobs then None
           else begin
-            let chunk = (len + k - 1) / k in
-            let bounds w = (w * chunk, min len ((w + 1) * chunk)) in
-            let doms =
-              Array.init (k - 1) (fun j ->
-                  let lo, hi = bounds (j + 1) in
-                  Domain.spawn (fun () -> process_slice (j + 1) frontier lo hi d))
-            in
-            let r0 =
-              let lo, hi = bounds 0 in
-              process_slice 0 frontier lo hi d
-            in
-            r0 :: Array.to_list (Array.map Domain.join doms)
+            let v = (w + k) mod jobs in
+            if Deque.size deques.(v) = 0 then go (k + 1)
+            else
+              match Deque.steal deques.(v) with
+              | [] -> go (k + 1)
+              | ts -> Some (v, ts)
           end
         in
-        (* all workers are joined: the coordinator owns every lane again,
-           so it can account the level and write this level's spans —
-           including each worker's barrier wait, which only the join knows *)
-        let barrier_end = Obs.Clock.monotonic_ns () in
-        List.iteri
-          (fun w (_, _, (s0, s1, succ, fpn, insn, invn)) ->
-            busy_ns.(w) <- busy_ns.(w) + (s1 - s0);
-            barrier_ns.(w) <- barrier_ns.(w) + max 0 (barrier_end - s1);
+        go 1
+      in
+      let backoff = ref 0 in
+      let rec main () =
+        match Deque.pop_batch own pop_batch_size with
+        | [] -> idle ()
+        | tasks ->
+          let t0 = Obs.Clock.monotonic_ns () in
+          List.iter process tasks;
+          busy_ns.(w) <- busy_ns.(w) + (Obs.Clock.monotonic_ns () - t0);
+          main ()
+      and idle () =
+        flush_span ();
+        hooks.on_idle ~worker:w;
+        let ep_start = Obs.Clock.monotonic_ns () in
+        let sweeps = ref 0 in
+        let rec spin () =
+          let t_sweep = Obs.Clock.monotonic_ns () in
+          match try_steal () with
+          | Some (v, ts) ->
+            let now = Obs.Clock.monotonic_ns () in
+            let n = List.length ts in
+            steals.(w) <- steals.(w) + 1;
+            stolen_tasks.(w) <- stolen_tasks.(w) + n;
+            Deque.push_list own ts;
+            hooks.on_steal ~worker:w ~victim:v ~stolen:n;
             if tr_on then begin
-              Obs.Tracing.span_args tracer ~dom:w ~name:n_slice ~start_ns:s0 ~stop_ns:s1
-                ~args:[ ("level", Obs.Json.Int d) ];
-              (* phase totals, laid out back to back inside the slice span
-                 so viewers show them as its children *)
-              let cursor = ref s0 in
-              List.iter
-                (fun (name, acc) ->
-                  if acc > 0 then begin
-                    Obs.Tracing.span_between tracer ~dom:w ~name ~start_ns:!cursor
-                      ~stop_ns:(!cursor + acc);
-                    cursor := !cursor + acc
-                  end)
-                [ (n_succ, succ); (n_fp, fpn); (n_ins, insn); (n_inv, invn) ];
-              if barrier_end > s1 then
-                Obs.Tracing.span_between tracer ~dom:w ~name:n_barrier ~start_ns:s1
-                  ~stop_ns:barrier_end
-            end)
-          results;
-        let next = List.concat_map (fun (n, _, _) -> n) results in
-        if tr_on then
-          Obs.Tracing.span_args tracer ~dom:0 ~name:n_level ~start_ns:level_start
-            ~stop_ns:barrier_end
-            ~args:
-              [
-                ("level", Obs.Json.Int d);
-                ("frontier", Obs.Json.Int len);
-                ("workers", Obs.Json.Int k);
-              ];
-        if Obs.Reporter.enabled obs then begin
-          let wall_ns = max 1 (barrier_end - level_start) in
-          Obs.Reporter.emit obs "level"
-            [
-              ("checker", Obs.Json.String "par-explore");
-              ("level", Obs.Json.Int d);
-              ("expanded", Obs.Json.Int len);
-              ("frontier", Obs.Json.Int (List.length next));
-              ("states", Obs.Json.Int (Atomic.get states));
-              ("max_states", Obs.Json.Int max_states);
-              ("workers", Obs.Json.Int k);
-              ("wall_s", Obs.Json.Float (float_of_int wall_ns *. 1e-9));
-              ( "busy_frac",
-                Obs.Json.List
-                  (List.map
-                     (fun (_, _, (s0, s1, _, _, _, _)) ->
-                       Obs.Json.Float (float_of_int (s1 - s0) /. float_of_int wall_ns))
-                     results) );
-            ]
-        end;
-        if next <> [] then depth := d + 1;
-        (match List.concat_map (fun (_, v, _) -> v) results with
-        | [] -> ()
-        | v :: vs ->
-          (* all shortest violations are on this level; report the one
-             with the smallest fingerprint, which is deterministic *)
-          let fp, name =
-            List.fold_left (fun (bf, bn) (f, n) -> if f < bf then (f, n) else (bf, bn)) v vs
-          in
-          violation := Some (reconstruct fp name));
-        if !violation = None then loop (Array.of_list next) (d + 1)
-      end
+              if !sweeps > 0 then
+                Obs.Tracing.span_between tracer ~dom:w ~name:n_steal_fail ~start_ns:ep_start
+                  ~stop_ns:t_sweep;
+              Obs.Tracing.span_between tracer ~dom:w ~name:n_steal ~start_ns:t_sweep ~stop_ns:now
+            end;
+            idle_ns.(w) <- idle_ns.(w) + (now - ep_start);
+            backoff := 0;
+            span_start := Obs.Clock.monotonic_ns ();
+            main ()
+          | None ->
+            incr sweeps;
+            steal_fails.(w) <- steal_fails.(w) + 1;
+            term_probes.(w) <- term_probes.(w) + 1;
+            let t_probe = Obs.Clock.monotonic_ns () in
+            let p = Atomic.get pending in
+            hooks.on_probe ~worker:w ~pending:p;
+            if p = 0 then begin
+              (* quiescent: no published task anywhere, and new tasks are
+                 only published by task expansions, so none can appear *)
+              let now = Obs.Clock.monotonic_ns () in
+              if tr_on then begin
+                Obs.Tracing.span_between tracer ~dom:w ~name:n_steal_fail ~start_ns:ep_start
+                  ~stop_ns:t_probe;
+                Obs.Tracing.span_between tracer ~dom:w ~name:n_probe ~start_ns:t_probe
+                  ~stop_ns:now
+              end;
+              idle_ns.(w) <- idle_ns.(w) + (now - ep_start)
+            end
+            else begin
+              (* exponential-ish backoff: spin first, then sleep so a
+                 core-limited host gives the busy domains the CPU *)
+              incr backoff;
+              if !backoff < 64 then Domain.cpu_relax () else Unix.sleepf 0.0002;
+              spin ()
+            end
+        in
+        spin ()
+      in
+      main ()
     in
-    loop [| (fp0, initial) |] 0;
+    (* root: published before the pool spawns, so no worker can observe
+       pending = 0 before the root task exists *)
+    ignore (Seen.add seen fp0 ~parent:0 ~event:0 ~depth:0);
+    Atomic.set states 1;
+    (match ivs.(0).Inv_stats.check initial with
+    | Some name ->
+      let idx = inv_index name in
+      Seen.mark_violation seen fp0 idx;
+      offer ~depth:0 ~fp:fp0 ~inv:idx
+    | None -> ());
+    publish 0 [ (fp0, initial, 0) ];
+    let doms = Array.init (jobs - 1) (fun j -> Domain.spawn (worker (j + 1))) in
+    worker 0 ();
+    Array.iter Domain.join doms;
     let elapsed = Obs.Clock.elapsed_s ~since:t0_ns in
-    let first_violation = Option.map (fun tr -> tr.Trace.broken) !violation in
+    let violation =
+      if Atomic.get best_depth = max_int then None
+      else Some (reconstruct !best_fp inv_names.(!best_inv))
+    in
+    let depth =
+      if violation = None then Seen.max_depth seen else Atomic.get best_depth
+    in
+    let first_violation = Option.map (fun tr -> tr.Trace.broken) violation in
     Array.iter (fun iv -> iv.Inv_stats.report obs ~first_violation) ivs;
     let states = Atomic.get states in
     let transitions = Atomic.get transitions in
@@ -505,7 +813,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           ("jobs", Obs.Json.Int jobs);
           ("states", Obs.Json.Int states);
           ("transitions", Obs.Json.Int transitions);
-          ("depth", Obs.Json.Int !depth);
+          ("depth", Obs.Json.Int depth);
           ("deadlocks", Obs.Json.Int deadlocks);
           ("truncated", Obs.Json.Bool truncated);
           ( "violation",
@@ -525,8 +833,10 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
         ];
       (* contention attribution + Amdahl decomposition of this run *)
       let lock_stats, shard_wait_s = Obs.Contention.shard_summary (Seen.locks seen) in
+      let _, deque_wait_s = Obs.Contention.shard_summary (Deque.locks deques) in
       let ns_s a = Array.map (fun ns -> float_of_int ns *. 1e-9) a in
-      let busy_s = ns_s busy_ns and barrier_s = ns_s barrier_ns in
+      let busy_s = ns_s busy_ns and idle_s = ns_s idle_ns in
+      let isum a = Array.fold_left ( + ) 0 a in
       let est = Obs.Contention.estimate ~jobs ~wall_s:elapsed ~busy_per_domain:busy_s in
       let flist a = Obs.Json.List (Array.to_list (Array.map (fun v -> Obs.Json.Float v) a)) in
       Obs.Reporter.emit obs "scaling-detail"
@@ -539,8 +849,12 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
         @ Obs.Contention.estimate_json est
         @ [
             ("busy_per_domain_s", flist busy_s);
-            ("barrier_wait_s", Obs.Json.Float (Array.fold_left ( +. ) 0. barrier_s));
-            ("barrier_per_domain_s", flist barrier_s);
+            ("idle_wait_s", Obs.Json.Float (Array.fold_left ( +. ) 0. idle_s));
+            ("idle_per_domain_s", flist idle_s);
+            ("steals", Obs.Json.Int (isum steals));
+            ("steal_fails", Obs.Json.Int (isum steal_fails));
+            ("stolen_tasks", Obs.Json.Int (isum stolen_tasks));
+            ("termination_probes", Obs.Json.Int (isum term_probes));
             ("lock_acquires", Obs.Json.Int lock_stats.Obs.Contention.acquires);
             ("lock_contended", Obs.Json.Int lock_stats.Obs.Contention.contended);
             ( "lock_wait_s",
@@ -548,6 +862,8 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
             ( "lock_max_wait_s",
               Obs.Json.Float (float_of_int lock_stats.Obs.Contention.max_wait_ns *. 1e-9) );
             ("shard_wait_s", flist shard_wait_s);
+            ( "deque_wait_s",
+              Obs.Json.Float (Array.fold_left ( +. ) 0. deque_wait_s) );
           ])
     end;
     let covered =
@@ -558,10 +874,10 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     {
       Explore.states;
       transitions;
-      depth = !depth;
+      depth;
       deadlocks;
       truncated;
-      violation = !violation;
+      violation;
       elapsed;
       covered;
     }

@@ -1,52 +1,128 @@
-(** Parallel exhaustive exploration: level-synchronized BFS across OCaml 5
-    domains, preserving the sequential explorer's shortest-counterexample
-    semantics.
+(** Parallel exhaustive exploration: asynchronous work-stealing BFS across
+    OCaml 5 domains.
 
-    The frontier of each BFS level is split across [jobs] worker domains
-    that meet at a barrier before the next level.  The seen-set is sharded
-    by the low bits of the compact structural fingerprint into
-    independently-locked open-addressing tables over unboxed int arrays
-    storing three words per state (fingerprint, parent fingerprint, packed
-    event) — full states are retained only for the current and next
-    frontier, and counterexamples are rebuilt by bounded replay of the
-    recorded event chain.
+    A persistent pool of [jobs] worker domains is spawned once per run
+    (not per BFS level).  Each worker expands states from its own deque,
+    pushes fresh successors locally, and steals half of a victim's deque
+    when it runs dry; termination is detected by an atomic active-task
+    counter whose quiescence (zero published-but-unfinished tasks) no
+    worker can observe spuriously.  The level barrier of the earlier
+    design is gone: no fork/join round trip per level, no domains idling
+    at a barrier while the slowest slice finishes.
 
-    On runs with no violation, every outcome field except [elapsed] equals
-    the sequential explorer's, for any [jobs] (modulo fingerprint
-    collisions, probability ~ n^2/2^63).  On violating runs the reported
-    violation has minimal depth and among the equal-depth candidates the
-    smallest fingerprint, so the verdict and trace length are
-    deterministic; which parent chain (schedule) the trace follows may
-    differ from the sequential explorer's. *)
+    The shortest-counterexample guarantee survives without level
+    synchronization because seen-set entries are depth-stamped: a shorter
+    path to a known state atomically improves the entry's (depth, parent,
+    event) triple and re-enqueues it, so stamps relax to true BFS
+    distances by quiescence, and violations race through an atomic
+    best-(depth, fingerprint) cell with min-tie-break.  The minimal trace
+    is then recovered by the same bounded parent-chain replay as the
+    sequential explorer.  DESIGN.md §11 gives the minimality argument. *)
 
 type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
 
-(** [run ~jobs ~invariants initial] explores from [initial] with [jobs]
-    worker domains.  [jobs <= 1] (the default) delegates to
+(** Scheduler observation hooks, injectable from tests to make
+    termination-detection interleavings deterministic (e.g. hold a worker
+    in its quiescence probe until another worker has published work, then
+    assert the probe did not terminate the run early).  [on_expand] fires
+    before each state expansion; [on_idle] when a worker's own deque runs
+    dry; [on_steal] after a successful steal; [on_probe] on every
+    quiescence check, with the pending-task count the worker observed.
+    The default {!no_hooks} do nothing. *)
+type hooks = {
+  on_expand : worker:int -> depth:int -> unit;
+  on_idle : worker:int -> unit;
+  on_steal : worker:int -> victim:int -> stolen:int -> unit;
+  on_probe : worker:int -> pending:int -> unit;
+}
+
+val no_hooks : hooks
+
+(** The sharded seen-set, exposed for the multi-domain resize hammer
+    test.  64 independently-locked open-addressing shards over unboxed
+    int bigarrays; four words (32 bytes) per state: fingerprint, parent
+    fingerprint, packed event, and a meta word (depth stamp |
+    violated-invariant index | expanded bit).  Every operation, including
+    the 70%-load doubling, runs entirely under the owning shard's mutex —
+    see the concurrency audit comment in the implementation. *)
+module Seen : sig
+  type t
+
+  (** [add] outcome: [Fresh] if the fingerprint was absent, [Improved v]
+      if present with a larger depth stamp (the (depth, parent, event)
+      triple is rewritten; [v] is the entry's violated-invariant index,
+      -1 if none), [Stale] otherwise. *)
+  type add_result = Fresh | Improved of int | Stale
+
+  val n_shards : int
+
+  (** [create ?shard_cap ()] with [shard_cap] initial slots per shard
+      (default 1024; must be a power of two).  Small caps force early
+      doubling, which the resize hammer test exploits. *)
+  val create : ?shard_cap:int -> unit -> t
+
+  (** [add t fp ~parent ~event ~depth]; [fp] must be non-zero
+      ({!Fingerprint.hash} never is). *)
+  val add : t -> int -> parent:int -> event:int -> depth:int -> add_result
+
+  (** [(parent, packed event)] of a present fingerprint. *)
+  val find : t -> int -> (int * int) option
+
+  (** Current depth stamp of a present fingerprint. *)
+  val depth_of : t -> int -> int option
+
+  val count : t -> int
+
+  (** Total slots across shards (grows as shards double). *)
+  val capacity : t -> int
+end
+
+val max_jobs : int
+
+(** [run ~jobs ~invariants initial] explores like {!Explore.run} but
+    across [jobs] worker domains.  [jobs <= 1] (the default) delegates to
     {!Explore.run}, so default results are bit-for-bit the sequential
-    ones; [jobs] is capped at 64.
+    ones; [jobs] is capped at {!max_jobs}.
 
-    Remaining parameters are as in {!Explore.run}, with two parallel-mode
-    deviations: [max_states] may overshoot by at most the number of
-    in-flight successors (one per worker), and hitting it stops the run
-    at the end of the current level.  When [obs] is enabled, each worker
-    emits its own [heartbeat] records tagged with a [domain] index, each
-    worker reports its own per-[invariant] records (aggregate across
-    domains for totals), a [level] record closes every BFS level (frontier
-    size, per-domain busy fractions — what the live dashboard renders),
-    and the run ends with an [outcome] record plus a [scaling] record
-    ([jobs], [states], [elapsed_s], [states_per_sec]) for
-    speedup-vs-domains tracking and a [scaling-detail] record: per-domain
-    busy and barrier-wait seconds, seen-set shard lock contention
-    (acquires, contended acquires, per-shard wait), and the Amdahl
-    serial-fraction estimate ({!Obs.Contention.estimate}).
+    Determinism contract across [jobs]:
+    - a non-truncated run with no violation reports exactly the
+      sequential explorer's counts ([states], [transitions], [depth],
+      [deadlocks]) and [covered] list: every reachable state is inserted
+      exactly once, and transitions/deadlocks are counted only on a
+      state's first expansion (depth-improvement re-expansions recount
+      nothing);
+    - a violating run reports a violation of minimal depth; among
+      equal-depth violations the smallest fingerprint wins, so the
+      verdict, the violated invariant and the counterexample length are
+      deterministic.  State counts of violating runs are not comparable
+      across [jobs] (pruning races with discovery), matching the
+      sequential explorer's early stop;
+    - [max_states] may overshoot by the successors in flight (at most one
+      expansion batch per worker) before every worker observes the cap.
 
-    When [tracer] is live with at least [jobs] lanes, each worker's lane
-    carries per-level [slice] spans with [successor-gen] /
-    [normalize+fingerprint] / [seen-insert] / [invariants] phase
-    sub-spans and a [barrier-wait] span per level (reconstructed by the
-    coordinator after the join, which owns every lane between levels);
-    lane 0 additionally carries one [level] span per BFS level. *)
+    @param hooks scheduler observation hooks for tests
+           (default {!no_hooks}).
+
+    Remaining parameters are as in {!Explore.run}.  When [obs] is
+    enabled, each worker emits its own [heartbeat] records tagged with a
+    [domain] index (the [frontier] field reports the pending-task count),
+    each worker reports its own per-[invariant] records (aggregate across
+    domains for totals), and the run ends with an [outcome] record, a
+    [scaling] record ([jobs], [states], [elapsed_s], [states_per_sec])
+    for speedup-vs-domains tracking, and a [scaling-detail] record:
+    per-domain busy and idle seconds, steal / failed-steal / stolen-task
+    / termination-probe counters, seen-set shard lock contention
+    (acquires, contended acquires, per-shard wait), deque lock wait, and
+    the Amdahl serial-fraction estimate ({!Obs.Contention.estimate}).
+
+    When [tracer] is live with at least [jobs] lanes, each worker's own
+    lane (single-writer discipline, no coordinator involvement) carries
+    [expand] spans per heartbeat interval with [successor-gen] /
+    [normalize+fingerprint] / [seen-insert] / [invariants] /
+    [deque-push] phase sub-spans, a [steal] span per successful steal, a
+    [steal-fail] span per empty-handed victim sweep episode, and a
+    [termination-probe] span at the quiescence check that ends the
+    worker's run. *)
 val run :
   ?jobs:int ->
   ?max_states:int ->
@@ -55,6 +131,7 @@ val run :
   ?obs:Obs.Reporter.t ->
   ?tracer:Obs.Tracing.t ->
   ?heartbeat_every:int ->
+  ?hooks:hooks ->
   ?reducer:('a, 'v, 's) Reducer.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->

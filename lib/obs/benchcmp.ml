@@ -63,12 +63,25 @@ let metrics_of_report report =
     match Json.member "checker_par" report with
     | None -> []
     | Some p ->
-      List.filter_map
+      List.concat_map
         (fun row ->
-          match (Option.bind (Json.member "jobs" row) Json.to_int, fmember "states_per_sec" row) with
-          | Some jobs, Some v ->
-            Some (Fmt.str "checker_par jobs=%d states_per_sec" jobs, Higher_better, v)
-          | _ -> None)
+          match Option.bind (Json.member "jobs" row) Json.to_int with
+          | None -> []
+          | Some jobs ->
+            let throughput =
+              match fmember "states_per_sec" row with
+              | Some v -> [ (Fmt.str "checker_par jobs=%d states_per_sec" jobs, Higher_better, v) ]
+              | None -> []
+            in
+            (* the speedup curve itself is the metric the work-stealing
+               frontier is judged by; jobs=1 is 1.0 by construction *)
+            let speedup =
+              match fmember "speedup_vs_seq" row with
+              | Some v when jobs > 1 ->
+                [ (Fmt.str "checker_par jobs=%d speedup_vs_seq" jobs, Higher_better, v) ]
+              | _ -> []
+            in
+            throughput @ speedup)
         (lmember "rows" p)
   in
   let reduce =

@@ -199,14 +199,20 @@ let test_par_violation_same_name_and_length () =
   in
   let check_both name pred expected_len =
     let seq = Check.Explore.run ~invariants:[ (name, pred) ] (sys ()) in
-    let par = Check.Par_explore.run ~jobs:4 ~invariants:[ (name, pred) ] (sys ()) in
-    match (seq.Check.Explore.violation, par.Check.Explore.violation) with
-    | Some str, Some ptr ->
+    (match seq.Check.Explore.violation with
+    | Some str ->
       Alcotest.(check string) "same invariant (seq)" name str.Check.Trace.broken;
-      Alcotest.(check string) "same invariant (par)" name ptr.Check.Trace.broken;
-      Alcotest.(check int) "seq trace is shortest" expected_len (Check.Trace.length str);
-      Alcotest.(check int) "par trace has the same length" expected_len (Check.Trace.length ptr)
-    | _ -> Alcotest.fail "both explorers must find the violation"
+      Alcotest.(check int) "seq trace is shortest" expected_len (Check.Trace.length str)
+    | None -> Alcotest.fail "sequential explorer must find the violation");
+    List.iter
+      (fun jobs ->
+        let par = Check.Par_explore.run ~jobs ~invariants:[ (name, pred) ] (sys ()) in
+        match par.Check.Explore.violation with
+        | Some ptr ->
+          Alcotest.(check string) "same invariant (par)" name ptr.Check.Trace.broken;
+          Alcotest.(check int) "par trace has the same length" expected_len (Check.Trace.length ptr)
+        | None -> Alcotest.fail "parallel explorer must find the violation")
+      [ 2; 4 ]
   in
   check_both "not-three" (fun sys -> (System.proc sys 0).Com.data <> 3) 1;
   check_both "not-five" (fun sys -> (System.proc sys 0).Com.data <> 5) 3
@@ -219,6 +225,168 @@ let test_par_coverage_matches_seq () =
       .Check.Explore.covered
   in
   Alcotest.(check int) "same covered set, same order" 0 (compare (run 1) (run 4))
+
+(* -- work-stealing seen-set and termination-detection edge cases ------------ *)
+
+(* Satellite audit companion: the 70%-load doubling path runs entirely
+   under the shard mutex, so concurrent inserts that trigger resizes on
+   the same shard must never lose an entry.  Four domains hammer ONE
+   shard (every fingerprint has zero low bits) through dozens of
+   doublings from a deliberately tiny initial capacity. *)
+let test_seen_resize_hammer () =
+  let module Seen = Check.Par_explore.Seen in
+  let seen = Seen.create ~shard_cap:64 () in
+  let initial_capacity = Seen.capacity seen in
+  let n_domains = 4 and per_domain = 4_000 in
+  (* low 6 bits zero => all fingerprints land in shard 0; never 0 *)
+  let fp d i = ((d * per_domain) + i + 1) lsl 6 in
+  let insert d =
+    for i = 0 to per_domain - 1 do
+      match Seen.add seen (fp d i) ~parent:1 ~event:d ~depth:(i + 1) with
+      | Seen.Fresh -> ()
+      | Seen.Improved _ | Seen.Stale ->
+        Alcotest.fail "hammer fingerprints are distinct: every add must be Fresh"
+    done
+  in
+  let doms = Array.init (n_domains - 1) (fun d -> Domain.spawn (fun () -> insert (d + 1))) in
+  insert 0;
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "no insert lost across concurrent resizes" (n_domains * per_domain)
+    (Seen.count seen);
+  Alcotest.(check bool) "the shard actually resized (several doublings)" true
+    (Seen.capacity seen >= initial_capacity + (8 * 1024));
+  for d = 0 to n_domains - 1 do
+    for i = 0 to per_domain - 1 do
+      if Seen.depth_of seen (fp d i) <> Some (i + 1) then
+        Alcotest.failf "entry (%d,%d) lost or corrupted by a resize" d i
+    done
+  done;
+  (* depth relaxation across a resized table: improve, then refuse stale *)
+  (match Seen.add seen (fp 0 7) ~parent:1 ~event:0 ~depth:2 with
+  | Seen.Improved v -> Alcotest.(check int) "no violation recorded" (-1) v
+  | _ -> Alcotest.fail "smaller depth must improve the entry");
+  Alcotest.(check (option int)) "depth stamp relaxed" (Some 2) (Seen.depth_of seen (fp 0 7));
+  (match Seen.add seen (fp 0 7) ~parent:1 ~event:0 ~depth:9 with
+  | Seen.Stale -> ()
+  | _ -> Alcotest.fail "larger depth must be stale")
+
+(* Termination edge case: the invariant already fails at the root, so
+   best-depth pruning drains the pool without expanding anything. *)
+let test_par_violation_at_root () =
+  let run jobs = Check.Par_explore.run ~jobs ~invariants:[ ("no", fun _ -> false) ] (diamond ()) in
+  let seq = run 1 in
+  List.iter
+    (fun jobs ->
+      let par = run jobs in
+      (match par.Check.Explore.violation with
+      | Some tr ->
+        Alcotest.(check string) "names the invariant" "no" tr.Check.Trace.broken;
+        Alcotest.(check int) "empty counterexample" 0 (Check.Trace.length tr)
+      | None -> Alcotest.fail "root violation expected");
+      Alcotest.(check int) "only the root is counted" seq.Check.Explore.states
+        par.Check.Explore.states)
+    [ 2; 4 ]
+
+(* Termination edge case: a reducer whose ample set collapses every
+   successor list to nothing — the root expansion publishes zero tasks,
+   the frontier is empty immediately, and the pool must still reach
+   quiescence (a regression here hangs the test). *)
+let test_par_empty_frontier_after_reduction () =
+  let collapse : (int, int, int) Check.Reducer.t =
+    {
+      Check.Reducer.name = "collapse-all";
+      fingerprint = Check.Fingerprint.of_system;
+      successors = (fun _ -> []);
+      sym_permuted = Atomic.make 0;
+      reg_nulled = Atomic.make 0;
+      deferred = Atomic.make 0;
+    }
+  in
+  let run jobs =
+    Check.Par_explore.run ~jobs ~reducer:collapse ~invariants:[] (bounded_counter ())
+  in
+  let seq = run 1 in
+  Alcotest.(check int) "root only" 1 seq.Check.Explore.states;
+  List.iter
+    (fun jobs ->
+      let par = run jobs in
+      Alcotest.(check int) "root only" seq.Check.Explore.states par.Check.Explore.states;
+      Alcotest.(check int) "root is the only deadlock" seq.Check.Explore.deadlocks
+        par.Check.Explore.deadlocks;
+      Alcotest.(check int) "depth 0" 0 par.Check.Explore.depth;
+      Alcotest.(check bool) "clean verdict" true (par.Check.Explore.violation = None))
+    [ 2; 4 ]
+
+(* Termination edge case: a straight-line chain has exactly one pending
+   task at any moment, so with --jobs 4 three workers spend the whole run
+   probing for termination (and stealing at most the single task) — the
+   counts must still be exactly sequential. *)
+let test_par_chain_starved_workers () =
+  let p : com =
+    Com.While (("w" : Cimp.Label.t), (fun s -> s < 30), Com.Local_op ("step", fun s -> [ s + 1 ]))
+  in
+  let sys () = System.make [| "p" |] [| proc p 0 |] in
+  let seq = Check.Explore.run ~normal_form:false ~invariants:[] (sys ()) in
+  let par = Check.Par_explore.run ~jobs:4 ~normal_form:false ~invariants:[] (sys ()) in
+  Alcotest.(check int) "states" seq.Check.Explore.states par.Check.Explore.states;
+  Alcotest.(check int) "transitions" seq.Check.Explore.transitions par.Check.Explore.transitions;
+  Alcotest.(check int) "depth" seq.Check.Explore.depth par.Check.Explore.depth;
+  Alcotest.(check int) "deadlocks" seq.Check.Explore.deadlocks par.Check.Explore.deadlocks;
+  Alcotest.(check bool) "closed" false par.Check.Explore.truncated
+
+(* Steal-during-termination-probe interleaving, made deterministic with
+   scheduler hooks: worker 0 holds the root expansion (pending stays at 1
+   with every deque empty) until worker 1's quiescence probe has run with
+   pending > 0.  The probe must NOT terminate the run — when worker 0
+   resumes and publishes successors, worker 1 goes back to stealing, and
+   the final counts prove no worker exited early. *)
+let test_par_steal_during_termination_probe () =
+  let probed_nonzero = Atomic.make false in
+  let hooks =
+    {
+      Check.Par_explore.no_hooks with
+      on_expand =
+        (fun ~worker ~depth ->
+          if worker = 0 && depth = 0 then
+            while not (Atomic.get probed_nonzero) do
+              Domain.cpu_relax ()
+            done);
+      on_probe =
+        (fun ~worker ~pending ->
+          if worker <> 0 && pending > 0 then Atomic.set probed_nonzero true);
+    }
+  in
+  let seq = Check.Explore.run ~normal_form:false ~invariants:[] (bounded_counter ()) in
+  let par =
+    Check.Par_explore.run ~jobs:2 ~normal_form:false ~hooks ~invariants:[] (bounded_counter ())
+  in
+  Alcotest.(check bool) "a probe observed pending work" true (Atomic.get probed_nonzero);
+  Alcotest.(check int) "states" seq.Check.Explore.states par.Check.Explore.states;
+  Alcotest.(check int) "transitions" seq.Check.Explore.transitions par.Check.Explore.transitions;
+  Alcotest.(check int) "depth" seq.Check.Explore.depth par.Check.Explore.depth;
+  Alcotest.(check int) "deadlocks" seq.Check.Explore.deadlocks par.Check.Explore.deadlocks
+
+(* Acceptance: verdict, violated invariant and counterexample length are
+   identical across --jobs 1/2/4, with and without --reduce all, on a GC
+   instance. *)
+let test_par_jobs_equivalence_with_reduce () =
+  let sc = Core.Scenario.make ~label:"par-eq-red" ~n_refs:2 ~shape:"single" ~max_mut_ops:1 () in
+  let verdict (o : _ Check.Explore.outcome) =
+    match o.Check.Explore.violation with
+    | None -> ("safe", -1)
+    | Some tr -> (tr.Check.Trace.broken, Check.Trace.length tr)
+  in
+  List.iter
+    (fun reduce ->
+      let base = verdict (Core.Scenario.explore ~jobs:1 ~reduce sc) in
+      List.iter
+        (fun jobs ->
+          Alcotest.(check (pair string int))
+            (Fmt.str "verdict equivalence at jobs=%d reduce=%s" jobs (Reduce.Mode.to_string reduce))
+            base
+            (verdict (Core.Scenario.explore ~jobs ~reduce sc)))
+        [ 2; 4 ])
+    [ Reduce.Mode.None_; Reduce.Mode.All ]
 
 (* -- the random-walk swarm -------------------------------------------------- *)
 
@@ -279,6 +447,15 @@ let suite =
     Alcotest.test_case "par violation: same invariant, same shortest length" `Quick
       test_par_violation_same_name_and_length;
     Alcotest.test_case "par coverage matches sequential" `Quick test_par_coverage_matches_seq;
+    Alcotest.test_case "seen shard resize hammer" `Quick test_seen_resize_hammer;
+    Alcotest.test_case "par violation at the root" `Quick test_par_violation_at_root;
+    Alcotest.test_case "par empty frontier after reduction collapse" `Quick
+      test_par_empty_frontier_after_reduction;
+    Alcotest.test_case "par starved workers on a chain" `Quick test_par_chain_starved_workers;
+    Alcotest.test_case "steal during termination probe" `Quick
+      test_par_steal_during_termination_probe;
+    Alcotest.test_case "par jobs equivalence with and without reduce" `Slow
+      test_par_jobs_equivalence_with_reduce;
     Alcotest.test_case "swarm finds violations" `Quick test_swarm_finds_violation;
     Alcotest.test_case "swarm totals are (seed, jobs)-deterministic" `Quick
       test_swarm_deterministic_totals;

@@ -190,13 +190,18 @@ let test_par_explore_traces_and_scaling_detail () =
   let seq = Check.Par_explore.run ~jobs:1 ~invariants model.Core.Model.system in
   Alcotest.(check int) "jobs=2 visits the sequential state count" seq.Check.Explore.states
     o.Check.Explore.states;
-  (* spans: both worker lanes carry events, and the barrier spans exist *)
+  (* spans: both worker lanes carry events, and the work-stealing span
+     taxonomy replaces the old barrier one (every worker ends its run
+     with a steal-fail + termination-probe pair, so those are always
+     present; a successful [steal] is exercised deterministically by the
+     dedicated test below) *)
   Alcotest.(check bool) "spans recorded" true (Obs.Tracing.events tracer > 0);
   let s = Obs.Json.to_string (Obs.Tracing.to_json tracer) in
   List.iter
     (fun affix ->
       Alcotest.(check bool) (affix ^ " span present") true (contains s ("\"" ^ affix ^ "\"")))
-    [ "slice"; "successor-gen"; "seen-insert"; "barrier-wait"; "level"; "worker 1" ];
+    [ "expand"; "successor-gen"; "seen-insert"; "deque-push"; "steal-fail"; "termination-probe";
+      "worker 1" ];
   (* the scaling-detail record carries the attribution schema *)
   let detail =
     List.filter_map
@@ -215,8 +220,9 @@ let test_par_explore_traces_and_scaling_detail () =
       Alcotest.(check bool) ("scaling-detail has " ^ k) true (List.mem k (field_names fields)))
     [
       "jobs"; "wall_s"; "busy_s"; "serial_s"; "serial_fraction"; "effective_parallelism";
-      "busy_per_domain_s"; "barrier_per_domain_s"; "lock_acquires"; "lock_contended";
-      "lock_wait_s"; "shard_wait_s";
+      "busy_per_domain_s"; "idle_wait_s"; "idle_per_domain_s"; "steals"; "steal_fails";
+      "stolen_tasks"; "termination_probes"; "lock_acquires"; "lock_contended"; "lock_wait_s";
+      "shard_wait_s"; "deque_wait_s";
     ];
   (match List.assoc_opt "serial_fraction" fields with
   | Some (Obs.Json.Float f) ->
@@ -225,6 +231,64 @@ let test_par_explore_traces_and_scaling_detail () =
   match List.assoc_opt "busy_per_domain_s" fields with
   | Some (Obs.Json.List l) -> Alcotest.(check int) "one busy entry per domain" 2 (List.length l)
   | _ -> Alcotest.fail "busy_per_domain_s is not a list"
+
+(* A deterministic successful steal: a 16-way branching counter (the
+   While root unfolds by a tau step at depth 1, then the Local_op fans
+   out 16 successors at depth 2), worker 0 is held (scheduler hook) at
+   its first depth-2 expansion until some worker has stolen.  At the
+   hold point either a steal already happened (releasing instantly) or
+   worker 0's deque still holds the 8 depth-2 tasks its batch pop left
+   behind, so worker 1's steal must succeed.  The [steal] span and the
+   scaling-detail steal counters follow. *)
+let test_par_explore_steal_span () =
+  let open Cimp in
+  let p : (int, int, int) Com.t =
+    Com.While
+      ( ("w" : Cimp.Label.t),
+        (fun s -> s < 400),
+        Com.Local_op ("step", fun s -> List.init 16 (fun i -> s + i + 1)) )
+  in
+  let sys () = System.make [| "p" |] [| Com.make [ p ] 0 |] in
+  let stole = Atomic.make false in
+  let held = Atomic.make false in
+  let hooks =
+    {
+      Check.Par_explore.no_hooks with
+      on_expand =
+        (fun ~worker ~depth ->
+          if worker = 0 && depth = 2 && not (Atomic.exchange held true) then
+            while not (Atomic.get stole) do
+              Domain.cpu_relax ()
+            done);
+      on_steal = (fun ~worker:_ ~victim:_ ~stolen:_ -> Atomic.set stole true);
+    }
+  in
+  let obs, dump = Obs.Reporter.memory () in
+  let tracer = Obs.Tracing.create ~domains:2 () in
+  let seq = Check.Explore.run ~normal_form:false ~invariants:[] (sys ()) in
+  let par =
+    Check.Par_explore.run ~jobs:2 ~normal_form:false ~obs ~tracer ~hooks ~invariants:[] (sys ())
+  in
+  Obs.Reporter.close obs;
+  Alcotest.(check bool) "a steal happened" true (Atomic.get stole);
+  Alcotest.(check int) "states still sequential" seq.Check.Explore.states par.Check.Explore.states;
+  Alcotest.(check int) "transitions still sequential" seq.Check.Explore.transitions
+    par.Check.Explore.transitions;
+  let s = Obs.Json.to_string (Obs.Tracing.to_json tracer) in
+  Alcotest.(check bool) "steal span present" true (contains s "\"steal\"");
+  let steals =
+    List.find_map
+      (fun r ->
+        match r with
+        | Obs.Json.Obj fields
+          when List.assoc_opt "event" fields = Some (Obs.Json.String "scaling-detail") ->
+          List.assoc_opt "steals" fields
+        | _ -> None)
+      (dump ())
+  in
+  match steals with
+  | Some (Obs.Json.Int n) -> Alcotest.(check bool) "steals counted" true (n >= 1)
+  | _ -> Alcotest.fail "scaling-detail must count steals"
 
 (* -- live dashboard (plain renderer) ------------------------------------------ *)
 
@@ -363,6 +427,7 @@ let suite =
       test_lock_contended_measures_wait;
     Alcotest.test_case "contention: Amdahl estimate round-trips" `Quick
       test_serial_fraction_estimate;
+    Alcotest.test_case "par-explore: deterministic steal span" `Quick test_par_explore_steal_span;
     Alcotest.test_case "par-explore: spans + scaling-detail schema" `Quick
       test_par_explore_traces_and_scaling_detail;
     Alcotest.test_case "dashboard: plain renderer" `Quick test_dashboard_plain_renders;
