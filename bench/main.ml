@@ -321,6 +321,93 @@ let recommended_domains par =
     (fun acc row -> match qualifies row with Some j -> max acc j | None -> acc)
     1 rows
 
+(* -- checker-store: states per GB under a memory budget ----------------------
+
+   The tiered seen-set ([lib/store]) on the checker-par instance: an
+   all-RAM row (the pool with an effectively unbounded budget, so peak
+   resident bytes is the honest full-store footprint) against
+   forced-spill rows whose budgets push most states into on-disk
+   segments.  The headline metric is states-per-GB of peak resident
+   memory — the capacity the budget buys — next to the throughput cost
+   of the disk probes; both land under "checker_store" in the report and
+   benchdiff tracks them (higher is better). *)
+
+let checker_store_budgets = [ ("all-ram", max_int / 2); ("budget-256k", 256 * 1024); ("budget-64k", 64 * 1024) ]
+
+let checker_store () =
+  let sc =
+    Core.Scenario.make ~label:"fig10/exhaustive-closure" ~n_refs:2 ~shape:"single"
+      ~max_mut_ops:2 ()
+  in
+  let model = Core.Scenario.model sc in
+  let invs = Core.Scenario.invariants sc in
+  let detail_int d k = Option.bind (Obs.Json.member k d) Obs.Json.to_int in
+  let run mem_budget =
+    let obs, snapshot = Obs.Reporter.memory () in
+    let o =
+      Check.Par_explore.run ~jobs:1 ~mem_budget ~obs ~invariants:invs model.Core.Model.system
+    in
+    let detail =
+      Option.value ~default:Obs.Json.Null
+        (List.find_opt
+           (fun r ->
+             match Obs.Json.member "event" r with
+             | Some (Obs.Json.String "scaling-detail") -> true
+             | _ -> false)
+           (snapshot ()))
+    in
+    (o, detail)
+  in
+  let baseline = ref 0 in
+  let rows =
+    List.map
+      (fun (label, budget) ->
+        let o, detail = run budget in
+        let rate =
+          if o.Check.Explore.elapsed > 0. then
+            float_of_int o.Check.Explore.states /. o.Check.Explore.elapsed
+          else 0.
+        in
+        let peak = Option.value ~default:0 (detail_int detail "peak_bytes_resident") in
+        let spilled = Option.value ~default:0 (detail_int detail "spilled_states") in
+        let segments = Option.value ~default:0 (detail_int detail "segments") in
+        let disk_bytes = Option.value ~default:0 (detail_int detail "disk_bytes") in
+        let states_per_gb =
+          if peak > 0 then float_of_int o.Check.Explore.states /. (float_of_int peak /. 1e9)
+          else 0.
+        in
+        if label = "all-ram" then baseline := o.Check.Explore.states
+        else if o.Check.Explore.states <> !baseline then
+          Fmt.pr "  WARNING: %s visited %d states, all-RAM visited %d@." label
+            o.Check.Explore.states !baseline;
+        Fmt.pr "  %-44s %10.0f states/GB %10.0f states/s  peak %s, %d spilled, %d segs@."
+          (Fmt.str "checker-store-%s (%d states)" label o.Check.Explore.states)
+          states_per_gb rate
+          (Fmt.str "%.1fMB" (float_of_int peak /. 1048576.))
+          spilled segments;
+        Obs.Json.Obj
+          [
+            ("label", Obs.Json.String label);
+            ( "mem_budget",
+              if label = "all-ram" then Obs.Json.Null else Obs.Json.Int budget );
+            ("states", Obs.Json.Int o.Check.Explore.states);
+            ("elapsed_s", Obs.Json.Float o.Check.Explore.elapsed);
+            ("states_per_sec", Obs.Json.Float rate);
+            ("peak_bytes_resident", Obs.Json.Int peak);
+            ("states_per_gb", Obs.Json.Float states_per_gb);
+            ("spilled_states", Obs.Json.Int spilled);
+            ("segments", Obs.Json.Int segments);
+            ("disk_bytes", Obs.Json.Int disk_bytes);
+          ])
+      checker_store_budgets
+  in
+  Obs.Json.Obj
+    [
+      ("scenario", Obs.Json.String sc.Core.Scenario.label);
+      ("domains_available", Obs.Json.Int (Domain.recommended_domain_count ()));
+      ("rows", Obs.Json.List rows);
+    ]
+
 (* -- checker-reduce: state-space reduction ----------------------------------
 
    Distinct states and wall-clock for each reduction mode on closing
@@ -422,14 +509,14 @@ let campaign_bench () =
    blocks.  Written next to the text output so perf PRs can diff
    BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
    revisions can write side by side. *)
-let bench_report_file = ref "BENCH_7.json"
+let bench_report_file = ref "BENCH_8.json"
 let force_gap = ref false
 let against_file : string option ref = ref None
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_7.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_8.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
@@ -474,7 +561,7 @@ let check_series () =
         (if List.length missing = 1 then "" else "s")
         (String.concat ", " (List.map (Fmt.str "BENCH_%d.json") missing))
 
-let write_report groups checker checker_par checker_reduce campaign =
+let write_report groups checker checker_par checker_store checker_reduce campaign =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -517,6 +604,7 @@ let write_report groups checker checker_par checker_reduce campaign =
         ("groups", Obs.Json.List (List.map group_record groups));
         ("checker", checker);
         ("checker_par", checker_par);
+        ("checker_store", checker_store);
         ("checker_reduce", checker_reduce);
         ("campaign", campaign);
       ]
@@ -551,11 +639,19 @@ let () =
     (Domain.recommended_domain_count ());
   let checker_par = checker_par () in
   Fmt.pr "  %-44s %12d@." "recommended-domains (measured)" (recommended_domains checker_par);
+  if Domain.recommended_domain_count () < 4 then
+    Fmt.pr
+      "  NOTE: only %d domain%s available on this host — the checker-par speedup rows (and \
+       the >2x-at-4-domains expectation) need a >=4-core host to be meaningful@."
+      (Domain.recommended_domain_count ())
+      (if Domain.recommended_domain_count () = 1 then "" else "s");
+  Fmt.pr "=== checker-store (states per GB under a memory budget) ===@.";
+  let checker_store = checker_store () in
   Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
   let checker_reduce = checker_reduce () in
   Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";
   let campaign = campaign_bench () in
-  write_report groups checker checker_par checker_reduce campaign;
+  write_report groups checker checker_par checker_store checker_reduce campaign;
   (match !against_file with
   | None -> ()
   | Some old_path -> (

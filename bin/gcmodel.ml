@@ -10,7 +10,22 @@
 
 open Cmdliner
 
-let cfg_term =
+(* raw model flags, kept separate from the resolved Config.t so explore
+   can echo them verbatim into checkpoint manifests and resume can
+   rebuild the identical instance *)
+type raw_cfg = {
+  muts : int;
+  refs : int;
+  fields : int;
+  buf : int;
+  cycles : int;
+  ops : int;
+  variant : string;
+  no_ops : string list;
+  mutant : string option;
+}
+
+let raw_cfg_term =
   let open Term in
   let muts = Arg.(value & opt int 1 & info [ "muts" ] ~doc:"Number of mutators.") in
   let refs = Arg.(value & opt int 3 & info [ "refs" ] ~doc:"Heap size (references).") in
@@ -38,6 +53,12 @@ let cfg_term =
              $(b,drop-fence:gc:hs2:store-fence), or $(b,variant:NAME) for an ablation) on \
              top of the configured instance.  Survivor triage stubs reference this flag.")
   in
+  let mk muts refs fields buf cycles ops variant no_ops mutant =
+    { muts; refs; fields; buf; cycles; ops; variant; no_ops; mutant }
+  in
+  const mk $ muts $ refs $ fields $ buf $ cycles $ ops $ variant $ no_ops $ mutant
+
+let resolve_cfg { muts; refs; fields; buf; cycles; ops; variant; no_ops; mutant } =
   let build muts refs fields buf cycles ops variant no_ops mutant =
     let v =
       match Core.Variants.by_name variant with
@@ -102,7 +123,9 @@ let cfg_term =
     in
     (cfg, v)
   in
-  const build $ muts $ refs $ fields $ buf $ cycles $ ops $ variant $ no_ops $ mutant
+  build muts refs fields buf cycles ops variant no_ops mutant
+
+let cfg_term = Term.(const resolve_cfg $ raw_cfg_term)
 
 let shape_term =
   Arg.(value & opt string "single" & info [ "shape" ] ~doc:"Initial heap shape (see $(b,shapes)).")
@@ -161,6 +184,123 @@ let jobs =
           "Worker domains. 1 (the default) is the sequential checker; higher values run the \
            work-stealing parallel BFS (explore, crosscheck) or the random-walk swarm (walk).")
 
+(* -- tiered store / checkpoint flags (lib/store) ----------------------------- *)
+
+let byte_size_conv =
+  let parse s =
+    let n = String.length s in
+    if n = 0 then Error (`Msg "empty size")
+    else
+      let mult, digits =
+        match s.[n - 1] with
+        | 'k' | 'K' -> (1 lsl 10, String.sub s 0 (n - 1))
+        | 'm' | 'M' -> (1 lsl 20, String.sub s 0 (n - 1))
+        | 'g' | 'G' -> (1 lsl 30, String.sub s 0 (n - 1))
+        | _ -> (1, s)
+      in
+      match int_of_string_opt digits with
+      | Some v when v > 0 -> Ok (v * mult)
+      | _ -> Error (`Msg (Fmt.str "invalid size %S (expected e.g. 512M, 2G, 65536)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Fmt.pf ppf "%d" v)
+
+let mem_budget_term =
+  Arg.(
+    value
+    & opt (some byte_size_conv) None
+    & info [ "mem-budget" ] ~docv:"BYTES"
+        ~doc:
+          "Resident-byte budget for the seen-set (suffixes k, M, G).  Shards that cross \
+           their slice of the budget freeze into Bloom-fronted sorted segments on disk \
+           (see $(b,--spill-dir)); membership stays exact, so verdicts are unchanged.  \
+           Absent, the seen-set stays entirely in RAM.")
+
+let spill_dir_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill-dir" ] ~docv:"DIR"
+        ~doc:"Directory for spilled segment files (default: a fresh temporary directory).")
+
+let checkpoint_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Snapshot the full exploration state into $(docv) periodically (atomic: a \
+           half-written snapshot is never visible) and once more on completion.  Continue \
+           an interrupted run with $(b,gcmodel resume) $(docv).")
+
+let checkpoint_every_term =
+  Arg.(
+    value
+    & opt int 50_000
+    & info [ "checkpoint-every" ] ~docv:"N"
+        ~doc:"States between checkpoints (with $(b,--checkpoint); default 50000).")
+
+(* everything needed to rebuild the instance and flags at resume *)
+let run_config_json (raw : raw_cfg) ~shape ~safety_only ~max_states ~jobs ~reduce ~mem_budget
+    ~checkpoint_every =
+  Obs.Json.Obj
+    [
+      ("muts", Obs.Json.Int raw.muts);
+      ("refs", Obs.Json.Int raw.refs);
+      ("fields", Obs.Json.Int raw.fields);
+      ("buf", Obs.Json.Int raw.buf);
+      ("cycles", Obs.Json.Int raw.cycles);
+      ("ops", Obs.Json.Int raw.ops);
+      ("variant", Obs.Json.String raw.variant);
+      ("disable", Obs.Json.List (List.map (fun s -> Obs.Json.String s) raw.no_ops));
+      ( "mutant",
+        match raw.mutant with None -> Obs.Json.Null | Some m -> Obs.Json.String m );
+      ("shape", Obs.Json.String shape);
+      ("safety_only", Obs.Json.Bool safety_only);
+      ("max_states", Obs.Json.Int max_states);
+      ("jobs", Obs.Json.Int jobs);
+      ("reduce", Obs.Json.String (Reduce.Mode.to_string reduce));
+      ( "mem_budget",
+        match mem_budget with None -> Obs.Json.Null | Some b -> Obs.Json.Int b );
+      ("checkpoint_every", Obs.Json.Int checkpoint_every);
+    ]
+
+let run_config_parse json =
+  let open Obs.Json in
+  let int_field name d =
+    match Option.bind (member name json) to_int with Some v -> v | None -> d
+  in
+  let str_field name d =
+    match Option.bind (member name json) to_string_opt with Some s -> s | None -> d
+  in
+  let raw =
+    {
+      muts = int_field "muts" 1;
+      refs = int_field "refs" 3;
+      fields = int_field "fields" 1;
+      buf = int_field "buf" 1;
+      cycles = int_field "cycles" 1;
+      ops = int_field "ops" 2;
+      variant = str_field "variant" "paper";
+      no_ops =
+        (match Option.bind (member "disable" json) to_list with
+        | Some l -> List.filter_map to_string_opt l
+        | None -> []);
+      mutant = Option.bind (member "mutant" json) to_string_opt;
+    }
+  in
+  let reduce =
+    match Reduce.Mode.of_string (str_field "reduce" "all") with Ok m -> m | Error _ -> Reduce.Mode.All
+  in
+  let mem_budget = Option.bind (member "mem_budget" json) to_int in
+  ( raw,
+    str_field "shape" "single",
+    (match Option.bind (member "safety_only" json) to_bool with Some b -> b | None -> false),
+    int_field "max_states" 10_000_000,
+    int_field "jobs" 1,
+    reduce,
+    mem_budget,
+    int_field "checkpoint_every" 50_000 )
+
 let model_of (cfg, _v) shape =
   match Gcheap.Shapes.by_name ~n_refs:cfg.Core.Config.n_refs ~n_fields:cfg.Core.Config.n_fields shape with
   | None -> Fmt.failwith "unknown shape %s" shape
@@ -214,17 +354,26 @@ let explain_violation ?last ~html ~obs cfg violation =
   | Some _, Some tr -> ignore (write_explanation ?last ~html ~obs cfg tr)
 
 let explore_cmd =
-  let run cv shape safety_only max_states jobs reduce explain trace_out obs =
+  let run raw shape safety_only max_states jobs reduce mem_budget spill_dir checkpoint
+      checkpoint_every explain trace_out obs =
+    let cv = resolve_cfg raw in
     let cfg, v = cv in
     let model = model_of cv shape in
-    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d reduce=%a@."
+    Fmt.pr "exploring variant=%s shape=%s muts=%d refs=%d cycles=%d ops=%d jobs=%d reduce=%a%a@."
       v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
-      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs Reduce.Mode.pp reduce;
+      cfg.Core.Config.max_cycles cfg.Core.Config.max_mut_ops jobs Reduce.Mode.pp reduce
+      Fmt.(option (fmt " mem-budget=%d"))
+      mem_budget;
     let reducer = Core.Reduction.reducer cfg reduce in
     let tracer = Obs.Tracing.resolve ?out:trace_out ~domains:(max 1 jobs) () in
+    let run_config =
+      run_config_json raw ~shape ~safety_only ~max_states ~jobs ~reduce ~mem_budget
+        ~checkpoint_every
+    in
     let o =
-      Check.Par_explore.run ~jobs ~max_states ~obs ~tracer ?reducer
-        ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+      Check.Par_explore.run ~jobs ~max_states ~obs ~tracer ?reducer ?mem_budget ?spill_dir
+        ?checkpoint:(Option.map (fun dir -> (dir, checkpoint_every)) checkpoint)
+        ~run_config ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
     report cfg obs o.Check.Explore.violation;
@@ -234,8 +383,73 @@ let explore_cmd =
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
     Term.(
-      const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
-      $ reduce_term ~default:"all" $ explain_file $ trace_out_term $ obs_term)
+      const run $ raw_cfg_term $ shape_term $ safety_only $ max_states $ jobs
+      $ reduce_term ~default:"all" $ mem_budget_term $ spill_dir_term $ checkpoint_term
+      $ checkpoint_every_term $ explain_file $ trace_out_term $ obs_term)
+
+let resume_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Checkpoint directory written by $(b,explore --checkpoint).")
+  in
+  let jobs_override =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains (default: the interrupted run's setting from the manifest).")
+  in
+  let run dir jobs_override explain trace_out obs =
+    let fail msg =
+      Fmt.epr "gcmodel resume: %s@." msg;
+      exit 1
+    in
+    let config =
+      match Store.Checkpoint.manifest dir with
+      | Error msg -> fail msg
+      | Ok (_seq, config) -> config
+    in
+    let raw, shape, safety_only, max_states, cfg_jobs, reduce, mem_budget, checkpoint_every =
+      run_config_parse config
+    in
+    let jobs = Option.value jobs_override ~default:cfg_jobs in
+    let cv = resolve_cfg raw in
+    let cfg, v = cv in
+    let model = model_of cv shape in
+    let snap =
+      match Store.Checkpoint.load ?mem_budget dir with
+      | Error msg -> fail msg
+      | Ok snap -> snap
+    in
+    Fmt.pr
+      "resuming variant=%s shape=%s muts=%d refs=%d jobs=%d reduce=%a: snapshot %d (%d states, \
+       frontier %d)@."
+      v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs jobs
+      Reduce.Mode.pp reduce snap.Store.Checkpoint.seq snap.Store.Checkpoint.states
+      (Array.fold_left (fun acc l -> acc + List.length l) 0 snap.Store.Checkpoint.frontier);
+    let reducer = Core.Reduction.reducer cfg reduce in
+    let tracer = Obs.Tracing.resolve ?out:trace_out ~domains:(max 1 jobs) () in
+    let o =
+      Check.Par_explore.run ~jobs ~max_states ~obs ~tracer ?reducer ?mem_budget
+        ~checkpoint:(dir, checkpoint_every) ~resume:snap ~run_config:config
+        ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+    in
+    Fmt.pr "%a@." Check.Explore.pp_outcome o;
+    report cfg obs o.Check.Explore.violation;
+    explain_violation ~html:explain ~obs cfg o.Check.Explore.violation;
+    close_trace tracer trace_out;
+    Obs.Reporter.close obs
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Continue an interrupted $(b,explore --checkpoint) run from its latest snapshot.  \
+          The model, flags and reduction mode are rebuilt from the checkpoint manifest; the \
+          resumed run reaches the same verdict, violated invariant and counterexample length \
+          as an uninterrupted one, and keeps checkpointing into the same directory.")
+    Term.(const run $ dir $ jobs_override $ explain_file $ trace_out_term $ obs_term)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
@@ -263,7 +477,7 @@ let walk_cmd =
       $ reduce_term ~default:"none" $ explain_file $ trace_out_term $ obs_term)
 
 let crosscheck_cmd =
-  let run cv shape safety_only max_states jobs reduce explain obs =
+  let run cv shape safety_only max_states jobs reduce mem_budget explain obs =
     let cfg, v = cv in
     let model = model_of cv shape in
     (match reduce with
@@ -310,6 +524,87 @@ let crosscheck_cmd =
         par_run "unreduced" @ par_run ~reducer "reduced"
       end
     in
+    (* --mem-budget B extends the obligation to the tiered store: a
+       forced-spill run (most states on disk) and a checkpoint/resume
+       round-trip must both report the all-RAM verdict, violated
+       invariant, counterexample length and (clean runs) state count *)
+    let store_errors =
+      match mem_budget with
+      | None -> []
+      | Some budget ->
+        let invariants = invariants_of cfg safety_only in
+        let signature (o : _ Check.Explore.outcome) =
+          match o.Check.Explore.violation with
+          | None -> Fmt.str "clean, %d states" o.Check.Explore.states
+          | Some tr ->
+            Fmt.str "violates %s, counterexample length %d" tr.Check.Trace.broken
+              (Check.Trace.length tr)
+        in
+        let base =
+          Check.Par_explore.run ~jobs:1 ~max_states ~invariants model.Core.Model.system
+        in
+        let base_sig = signature base in
+        let spill_legs =
+          List.concat_map
+            (fun j ->
+              let o =
+                Check.Par_explore.run ~jobs:j ~max_states ~mem_budget:budget ~invariants
+                  model.Core.Model.system
+              in
+              let s = signature o in
+              if s = base_sig then begin
+                Fmt.pr "spill equivalence OK (jobs=%d, budget=%d): %s@." j budget s;
+                []
+              end
+              else
+                [
+                  Fmt.str "spill jobs=%d budget=%d: %s, but all-RAM: %s" j budget s base_sig;
+                ])
+            [ 1; 4 ]
+        in
+        let resume_leg =
+          let dir =
+            Filename.concat (Filename.get_temp_dir_name ())
+              (Fmt.str "gcmodel-crosscheck-ckpt-%d" (Unix.getpid ()))
+          in
+          let o =
+            Check.Par_explore.run ~jobs:1 ~max_states ~mem_budget:budget
+              ~checkpoint:(dir, 500) ~invariants model.Core.Model.system
+          in
+          let errs =
+            match Store.Checkpoint.load ~mem_budget:budget dir with
+            | Error msg -> [ Fmt.str "resume: cannot load checkpoint: %s" msg ]
+            | Ok snap ->
+              let r =
+                Check.Par_explore.run ~jobs:1 ~max_states ~mem_budget:budget ~resume:snap
+                  ~invariants model.Core.Model.system
+              in
+              let so = signature o and sr = signature r in
+              if so = base_sig && sr = base_sig then begin
+                Fmt.pr "resume equivalence OK (budget=%d, snapshot %d): %s@." budget
+                  snap.Store.Checkpoint.seq sr;
+                []
+              end
+              else
+                [
+                  Fmt.str "resume budget=%d: checkpointed %s, resumed %s, but all-RAM: %s"
+                    budget so sr base_sig;
+                ]
+          in
+          (try
+             let rec rm p =
+               if Sys.is_directory p then begin
+                 Array.iter (fun f -> rm (Filename.concat p f)) (Sys.readdir p);
+                 Unix.rmdir p
+               end
+               else Sys.remove p
+             in
+             if Sys.file_exists dir then rm dir
+           with Sys_error _ | Unix.Unix_error _ -> ());
+          errs
+        in
+        spill_legs @ resume_leg
+    in
     (* the cross-check aggregates outcomes but keeps no trace; regenerate
        the reduced counterexample (deterministic) if a report was asked for *)
     (match explain with
@@ -321,7 +616,7 @@ let crosscheck_cmd =
       in
       explain_violation ~html:explain ~obs cfg o.Check.Explore.violation);
     Obs.Reporter.close obs;
-    match Reduce.Crosscheck.errors r @ jobs_errors with
+    match Reduce.Crosscheck.errors r @ jobs_errors @ store_errors with
     | [] -> Fmt.pr "cross-check OK@."
     | errs ->
       List.iter (Fmt.epr "cross-check FAILED: %s@.") errs;
@@ -334,10 +629,12 @@ let crosscheck_cmd =
           (verdict, violated invariant, counterexample length, reduced <= full states). \
           With --jobs N, also verify the work-stealing parallel checker reports the same \
           verdict, invariant and counterexample length at N domains, unreduced and reduced. \
-          Exits 1 on mismatch.")
+          With --mem-budget B, also verify a forced-spill run (tiered store under budget B, \
+          at 1 and 4 domains) and a checkpoint/resume round-trip report the all-RAM verdict \
+          and state count. Exits 1 on mismatch.")
     Term.(
       const run $ cfg_term $ shape_term $ safety_only $ max_states $ jobs
-      $ reduce_term ~default:"all" $ explain_file $ obs_term)
+      $ reduce_term ~default:"all" $ mem_budget_term $ explain_file $ obs_term)
 
 let explain_cmd =
   let trace_file =
@@ -647,7 +944,8 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            explore_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd; benchdiff_cmd;
+            explore_cmd; resume_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd;
+            benchdiff_cmd;
             variants_cmd; shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd;
             doc_variants_cmd;
           ]))

@@ -53,6 +53,32 @@ let coverage_gaps sys ~covered =
   done;
   sort_coverage !gaps
 
+(* Forward replay of a recorded transition chain, shared by both
+   explorers' counterexample reconstruction and by checkpoint resume.
+   An event alone does not determine the successor (a Local_op may offer
+   several successors under one label), so each step also matches the
+   recorded key — a structural fingerprint here, a compact int hash in
+   the parallel explorer — of the state it must land in. *)
+let replay_chain ~norm ~matches initial chain =
+  let rec replay sys chain acc =
+    match chain with
+    | [] -> List.rev acc
+    | (key, ev) :: rest -> (
+      let next =
+        List.find_map
+          (fun (e, s') ->
+            if e = ev then
+              let s' = norm s' in
+              if matches s' key then Some s' else None
+            else None)
+          (Cimp.System.steps sys)
+      in
+      match next with
+      | Some s' -> replay s' rest ({ Trace.event = ev; state = s' } :: acc)
+      | None -> List.rev acc (* unreachable: the chain records real transitions *))
+  in
+  replay initial chain []
+
 (* BFS.  [invariants] are (name, predicate) pairs checked at every state,
    including the initial one.  Stops at the first violation (BFS order
    makes it a shortest one).
@@ -170,34 +196,18 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
   in
   let reconstruct fp broken =
     (* Walk parent pointers back to the root, then replay the recorded
-       events forward from [initial].  An event alone does not determine
-       the successor (a Local_op may offer several successors under one
-       label), so each replay step also matches the recorded fingerprint
-       of the state it must land in.  Cost is O(depth * branching). *)
+       events forward from [initial] via [replay_chain]; cost is
+       O(depth * branching). *)
     let rec back fp acc =
       match Fingerprint.Table.find_opt parent fp with
       | None -> acc
       | Some (pfp, event) -> back pfp ((fp, event) :: acc)
     in
     let chain = back fp [] in
-    let rec replay sys chain acc =
-      match chain with
-      | [] -> List.rev acc
-      | (fp', ev) :: rest -> (
-        let next =
-          List.find_map
-            (fun (e, s') ->
-              if e = ev then
-                let s' = norm s' in
-                if Fingerprint.equal (fp_of s') fp' then Some s' else None
-              else None)
-            (Cimp.System.steps sys)
-        in
-        match next with
-        | Some s' -> replay s' rest ({ Trace.event = ev; state = s' } :: acc)
-        | None -> List.rev acc (* unreachable: the chain records real transitions *))
+    let steps =
+      replay_chain ~norm ~matches:(fun s' fp' -> Fingerprint.equal (fp_of s') fp') initial chain
     in
-    { Trace.initial; steps = replay initial chain []; broken }
+    { Trace.initial; steps; broken }
   in
   let enqueue ~from_fp ~event ~d sys =
     let fp = timed fp_s fp_calls (fun () -> fp_of sys) in

@@ -33,6 +33,24 @@ val sort_coverage : (int * Cimp.Label.t) list -> (int * Cimp.Label.t) list
 val coverage_gaps :
   ('a, 'v, 's) Cimp.System.t -> covered:(int * Cimp.Label.t) list -> (int * Cimp.Label.t) list
 
+(** [replay_chain ~norm ~matches initial chain] re-executes a recorded
+    transition chain — (key, event) pairs from the root — forward from
+    [initial], returning the trace steps.  An event alone does not
+    determine the successor (a [Local_op] may offer several successors
+    under one label), so each step also requires [matches state key] on
+    the state it lands in; [key] is a structural fingerprint in the
+    sequential explorer and a compact int hash in the parallel one.
+    Shared by both explorers' counterexample reconstruction and by
+    checkpoint resume (which rebuilds frontier states from parent
+    chains, because CIMP systems embed closures and cannot be
+    marshalled). *)
+val replay_chain :
+  norm:(('a, 'v, 's) Cimp.System.t -> ('a, 'v, 's) Cimp.System.t) ->
+  matches:(('a, 'v, 's) Cimp.System.t -> 'k -> bool) ->
+  ('a, 'v, 's) Cimp.System.t ->
+  ('k * Cimp.System.event) list ->
+  ('a, 'v, 's) Trace.step list
+
 (** [run ~invariants initial] explores from [initial].  Invariants are
     (name, predicate) pairs checked at every state, including the initial
     one; exploration stops at the first violation, which BFS order makes a

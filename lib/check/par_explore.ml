@@ -29,23 +29,35 @@
 
    Memory layout (cf. "Reducing State Explosion for Software Model
    Checking with Relaxed Memory Consistency Models"): full states live
-   only in the deques.  The seen-set is sharded by the low bits of the
-   compact structural fingerprint (Fingerprint.hash) into
-   independently-locked open-addressing tables over unboxed int
-   bigarrays, storing four words per state — fingerprint, parent
-   fingerprint, packed event, and a meta word (depth | violated-invariant
-   | expanded bit) — so the closed set costs 32 bytes/state regardless of
-   state size.
+   only in the deques.  The seen-set is the tiered store of [lib/store]
+   ({!Store.Tiered}): 64 independently-locked open-addressing shards over
+   unboxed int bigarrays — 32 bytes/state regardless of state size — and,
+   under [mem_budget], Bloom-fronted sorted on-disk segments that shards
+   freeze into, keeping membership exact while bounding resident bytes.
+
+   Checkpoint/resume rides on the same segment format.  With
+   [checkpoint], worker 0 coordinates a stop-the-world rendezvous every
+   [every] states: workers park at batch boundaries (they hold no
+   popped-but-unprocessed tasks there, so the deques plus the pending
+   counter are the entire frontier), worker 0 snapshots the store, the
+   deques as (fingerprint, depth) pairs, the violation cell and the
+   counters via {!Store.Checkpoint.write}, then releases the pool.
+   Frontier states are not serialized — CIMP systems embed closures — but
+   rebuilt at resume by parent-chain replay with a memo cache, exactly
+   the mechanism counterexample reconstruction already trusts.
 
    Determinism: on a non-truncated run with no violation, {states,
    transitions, depth, deadlocks, covered} are equal to the sequential
    explorer's for every [jobs] (every reachable state is inserted exactly
    once, and transitions/deadlocks are counted only on a state's first
    expansion; re-expansions triggered by depth improvement recount
-   nothing).  On a violating run the verdict, the violated invariant and
-   the counterexample length are deterministic across [jobs] (minimal
-   depth, smallest fingerprint as tie-break); state counts of violating
-   runs are not comparable because pruning races with discovery. *)
+   nothing).  Spilling preserves all of that except that [depth] may
+   overstate when a spilled entry is later depth-improved (the stale deep
+   copy remains on disk until a merge).  On a violating run the verdict,
+   the violated invariant and the counterexample length are deterministic
+   across [jobs] (minimal depth, smallest fingerprint as tie-break);
+   state counts of violating runs are not comparable because pruning
+   races with discovery. *)
 
 type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
 
@@ -70,289 +82,6 @@ let no_hooks =
     on_steal = (fun ~worker:_ ~victim:_ ~stolen:_ -> ());
     on_probe = (fun ~worker:_ ~pending:_ -> ());
   }
-
-(* -- packed events ----------------------------------------------------------
-
-   Parent-table entries store the generating event as one native int.
-   Labels are interned against the initial system's programs (every label
-   a run can fire occurs in the initial frame stacks — the same property
-   [Explore.coverage_gaps] relies on).  Layout, from bit 0:
-     tau:        label(20) | pid(10)..(bits 20-29)           kind bit 62 = 0
-     rendezvous: resp_label(20) | responder(10) | req_label(20, bits 30-49)
-                 | requester(10, bits 50-59)                 kind bit 62 = 1 *)
-
-let label_bits = 20
-let pid_bits = 10
-
-let intern_labels sys =
-  let ids = Hashtbl.create 256 in
-  let rev = ref [] in
-  let n = ref 0 in
-  for p = 0 to Cimp.System.n_procs sys - 1 do
-    List.iter
-      (fun l ->
-        if not (Hashtbl.mem ids l) then begin
-          Hashtbl.add ids l !n;
-          rev := l :: !rev;
-          incr n
-        end)
-      (List.concat_map Cimp.Com.labels (Cimp.System.proc sys p).Cimp.Com.stack)
-  done;
-  if !n >= 1 lsl label_bits then invalid_arg "Par_explore: too many labels to pack";
-  if Cimp.System.n_procs sys >= 1 lsl pid_bits then
-    invalid_arg "Par_explore: too many processes to pack";
-  (ids, Array.of_list (List.rev !rev))
-
-let label_id ids l =
-  match Hashtbl.find_opt ids l with
-  | Some i -> i
-  | None -> invalid_arg ("Par_explore: label not in the initial program: " ^ l)
-
-let encode_event ids = function
-  | Cimp.System.Tau (p, l) -> (p lsl label_bits) lor label_id ids l
-  | Cimp.System.Rendezvous { requester; req_label; responder; resp_label } ->
-    (1 lsl 62)
-    lor (requester lsl 50)
-    lor (label_id ids req_label lsl 30)
-    lor (responder lsl label_bits)
-    lor label_id ids resp_label
-
-let decode_event labels code =
-  let lmask = (1 lsl label_bits) - 1 in
-  let pmask = (1 lsl pid_bits) - 1 in
-  if (code lsr 62) land 1 = 0 then
-    Cimp.System.Tau ((code lsr label_bits) land pmask, labels.(code land lmask))
-  else
-    Cimp.System.Rendezvous
-      {
-        requester = (code lsr 50) land pmask;
-        req_label = labels.((code lsr 30) land lmask);
-        responder = (code lsr label_bits) land pmask;
-        resp_label = labels.(code land lmask);
-      }
-
-(* -- the sharded seen-set ---------------------------------------------------
-
-   [n_shards] independently-locked open-addressing tables with linear
-   probing.  The shard is picked by the fingerprint's low bits, the slot
-   by the next bits, so the two indices do not alias.  Keys, parents,
-   meta words and packed events are parallel unboxed int arrays; key 0
-   marks an empty slot (Fingerprint.hash is never 0).
-
-   The meta word packs, from bit 0: the depth stamp (40 bits, length of
-   the shortest discovered root path), the violated-invariant index + 1
-   (16 bits, 0 = no violation), and the expanded bit (bit 56, set on the
-   entry's first expansion so counts are first-expansion-only).
-
-   Concurrency audit of the growth path (the 70%-load doubling): [add],
-   [begin_expand], [mark_violation] and [find] all run their whole
-   probe/mutate sequence under the shard's mutex, and [grow] is only
-   called from inside [add]'s critical section, so two workers can never
-   resize the same shard concurrently and an insert can never land in a
-   table that a concurrent resize is about to discard — the classic
-   lost-insert race requires a load-factor check outside the lock, which
-   this module never does.  The doubling is a [while] loop rather than a
-   single [if] so the invariant "post-insert load <= 70%" survives any
-   future batched-insert caller.  The multi-domain hammer test
-   (test_check: "seen shard resize hammer") drives dozens of concurrent
-   resizes on one shard and checks every insert survives. *)
-
-module Seen = struct
-  let n_shards = 64
-  let shard_bits = 6 (* log2 n_shards *)
-  let depth_bits = 40
-  let depth_mask = (1 lsl depth_bits) - 1
-  let viol_bits = 16
-  let viol_shift = depth_bits
-  let viol_mask = (1 lsl viol_bits) - 1
-  let expanded_bit = 1 lsl (depth_bits + viol_bits)
-
-  (* largest violated-invariant index the meta word can carry *)
-  let max_violation_index = viol_mask - 2
-
-  type shard = {
-    lock : Obs.Contention.lock;
-    mutable keys : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
-    mutable parents : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
-    mutable meta : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
-    mutable events : int array;
-    mutable count : int;
-  }
-
-  type t = shard array
-
-  type add_result = Fresh | Improved of int | Stale
-
-  let make_arr cap =
-    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout cap in
-    Bigarray.Array1.fill a 0;
-    a
-
-  let default_shard_cap = 1024 (* initial slots per shard; doubles at 70% load *)
-
-  let create ?(shard_cap = default_shard_cap) () =
-    if shard_cap <= 0 || shard_cap land (shard_cap - 1) <> 0 then
-      invalid_arg "Par_explore.Seen.create: shard_cap must be a power of two";
-    Array.init n_shards (fun _ ->
-        {
-          lock = Obs.Contention.make_lock ();
-          keys = make_arr shard_cap;
-          parents = make_arr shard_cap;
-          meta = make_arr shard_cap;
-          events = Array.make shard_cap 0;
-          count = 0;
-        })
-
-  let shard (t : t) fp = t.(fp land (n_shards - 1))
-
-  (* Slot of [fp], or of the empty slot where it belongs; caller locks. *)
-  let probe keys cap fp =
-    let mask = cap - 1 in
-    let i = ref ((fp asr shard_bits) land mask) in
-    let go = ref true in
-    while !go do
-      let k = Bigarray.Array1.unsafe_get keys !i in
-      if k = 0 || k = fp then go := false else i := (!i + 1) land mask
-    done;
-    !i
-
-  let grow s =
-    let old_cap = Bigarray.Array1.dim s.keys in
-    let cap = 2 * old_cap in
-    let keys = make_arr cap in
-    let parents = make_arr cap in
-    let meta = make_arr cap in
-    let events = Array.make cap 0 in
-    for i = 0 to old_cap - 1 do
-      let k = Bigarray.Array1.unsafe_get s.keys i in
-      if k <> 0 then begin
-        let j = probe keys cap k in
-        Bigarray.Array1.unsafe_set keys j k;
-        Bigarray.Array1.unsafe_set parents j (Bigarray.Array1.unsafe_get s.parents i);
-        Bigarray.Array1.unsafe_set meta j (Bigarray.Array1.unsafe_get s.meta i);
-        events.(j) <- s.events.(i)
-      end
-    done;
-    s.keys <- keys;
-    s.parents <- parents;
-    s.meta <- meta;
-    s.events <- events
-
-  (* [add t fp ~parent ~event ~depth] inserts or relaxes: [Fresh] if [fp]
-     was absent, [Improved v] if it was present with a larger depth stamp
-     (the triple is rewritten; [v] is the entry's violated-invariant
-     index, -1 if none, so the caller can re-offer the violation at the
-     better depth), [Stale] otherwise.  The expanded bit survives an
-     improvement: re-expansion must not recount transitions. *)
-  let add (t : t) fp ~parent ~event ~depth =
-    let s = shard t fp in
-    Obs.Contention.lock s.lock;
-    while 10 * (s.count + 1) > 7 * Bigarray.Array1.dim s.keys do
-      grow s
-    done;
-    let cap = Bigarray.Array1.dim s.keys in
-    let i = probe s.keys cap fp in
-    let r =
-      if Bigarray.Array1.unsafe_get s.keys i = 0 then begin
-        Bigarray.Array1.unsafe_set s.keys i fp;
-        Bigarray.Array1.unsafe_set s.parents i parent;
-        Bigarray.Array1.unsafe_set s.meta i depth;
-        s.events.(i) <- event;
-        s.count <- s.count + 1;
-        Fresh
-      end
-      else begin
-        let m = Bigarray.Array1.unsafe_get s.meta i in
-        if depth < m land depth_mask then begin
-          Bigarray.Array1.unsafe_set s.meta i ((m land lnot depth_mask) lor depth);
-          Bigarray.Array1.unsafe_set s.parents i parent;
-          s.events.(i) <- event;
-          Improved (((m lsr viol_shift) land viol_mask) - 1)
-        end
-        else Stale
-      end
-    in
-    Obs.Contention.unlock s.lock;
-    r
-
-  (* Record that [fp] violates invariant [idx] (kept in the meta word so a
-     later depth improvement can re-offer the violation). *)
-  let mark_violation (t : t) fp idx =
-    let s = shard t fp in
-    Obs.Contention.lock s.lock;
-    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
-    if Bigarray.Array1.unsafe_get s.keys i = fp then begin
-      let m = Bigarray.Array1.unsafe_get s.meta i in
-      Bigarray.Array1.unsafe_set s.meta i
-        ((m land lnot (viol_mask lsl viol_shift)) lor ((idx + 1) lsl viol_shift))
-    end;
-    Obs.Contention.unlock s.lock
-
-  (* A task's claim to expand [fp] at stamp [depth]: [`Stale] when the
-     entry has since improved below [depth] (a fresher task for the same
-     state is in flight), otherwise the entry's current depth, tagged
-     [`First] exactly once per entry so transition/deadlock counts are
-     first-expansion-only. *)
-  let begin_expand (t : t) fp ~depth =
-    let s = shard t fp in
-    Obs.Contention.lock s.lock;
-    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
-    let r =
-      if Bigarray.Array1.unsafe_get s.keys i <> fp then `Stale
-      else begin
-        let m = Bigarray.Array1.unsafe_get s.meta i in
-        let d = m land depth_mask in
-        if d < depth then `Stale
-        else if m land expanded_bit = 0 then begin
-          Bigarray.Array1.unsafe_set s.meta i (m lor expanded_bit);
-          `First d
-        end
-        else `Again d
-      end
-    in
-    Obs.Contention.unlock s.lock;
-    r
-
-  let find (t : t) fp =
-    let s = shard t fp in
-    Obs.Contention.lock s.lock;
-    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
-    let r =
-      if Bigarray.Array1.unsafe_get s.keys i = fp then
-        Some (Bigarray.Array1.unsafe_get s.parents i, s.events.(i))
-      else None
-    in
-    Obs.Contention.unlock s.lock;
-    r
-
-  let depth_of (t : t) fp =
-    let s = shard t fp in
-    Obs.Contention.lock s.lock;
-    let i = probe s.keys (Bigarray.Array1.dim s.keys) fp in
-    let r =
-      if Bigarray.Array1.unsafe_get s.keys i = fp then
-        Some (Bigarray.Array1.unsafe_get s.meta i land depth_mask)
-      else None
-    in
-    Obs.Contention.unlock s.lock;
-    r
-
-  let count (t : t) = Array.fold_left (fun acc s -> acc + s.count) 0 t
-  let capacity (t : t) = Array.fold_left (fun acc s -> acc + Bigarray.Array1.dim s.keys) 0 t
-
-  let max_depth (t : t) =
-    let best = ref 0 in
-    Array.iter
-      (fun s ->
-        for i = 0 to Bigarray.Array1.dim s.keys - 1 do
-          if Bigarray.Array1.unsafe_get s.keys i <> 0 then
-            best := max !best (Bigarray.Array1.unsafe_get s.meta i land depth_mask)
-        done)
-      t;
-    !best
-
-  let locks (t : t) = Array.map (fun s -> s.lock) t
-end
 
 (* -- per-worker deques -------------------------------------------------------
 
@@ -430,6 +159,14 @@ module Deque = struct
     Obs.Contention.unlock d.lock;
     r
 
+  (* non-destructive snapshot, for checkpoints (the pool is parked) *)
+  let to_list d =
+    Obs.Contention.lock d.lock;
+    let cap = Array.length d.buf in
+    let r = List.init d.len (fun i -> d.buf.((d.head + i) mod cap)) in
+    Obs.Contention.unlock d.lock;
+    r
+
   let locks ds = Array.map (fun d -> d.lock) ds
 end
 
@@ -440,21 +177,31 @@ let pop_batch_size = 8
 
 let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
     ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000)
-    ?(hooks = no_hooks) ?reducer ~invariants initial =
+    ?(hooks = no_hooks) ?reducer ?mem_budget ?spill_dir ?checkpoint ?resume
+    ?(run_config = Obs.Json.Null) ~invariants initial =
   let jobs = max 1 (min jobs max_jobs) in
-  if jobs = 1 then
-    (* the sequential explorer is the jobs=1 semantics, bit for bit *)
+  if jobs = 1 && mem_budget = None && checkpoint = None && resume = None then
+    (* the sequential explorer is the jobs=1 semantics, bit for bit; any
+       store or checkpoint option selects the pool (with one worker: a
+       FIFO deque, so still deterministic BFS order) *)
     Explore.run ~max_states ~normal_form ~track_coverage ~obs ~tracer ~heartbeat_every ?reducer
       ~invariants initial
   else begin
     let t0_ns = Obs.Clock.monotonic_ns () in
+    let base_elapsed =
+      match resume with Some s -> s.Store.Checkpoint.elapsed_s | None -> 0.
+    in
     let norm sys = if normal_form then Cimp.System.normalize sys else sys in
     let fp_of sys = Reducer.fp_of reducer sys in
     let initial = norm initial in
-    let label_ids, labels = intern_labels initial in
-    let seen = Seen.create () in
+    let codec = Store.Event_codec.of_system initial in
+    let seen =
+      match resume with
+      | Some snap -> snap.Store.Checkpoint.store
+      | None -> Store.Tiered.create ?mem_budget ?spill_dir ()
+    in
     let inv_names = Array.of_list (List.map fst invariants) in
-    if Array.length inv_names > Seen.max_violation_index + 1 then
+    if Array.length inv_names > Store.Tiered.max_violation_index + 1 then
       invalid_arg "Par_explore: too many invariants to pack";
     let inv_index =
       let tbl = Hashtbl.create 16 in
@@ -475,20 +222,69 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     let n_steal = if tr_on then Obs.Tracing.intern tracer "steal" else 0 in
     let n_steal_fail = if tr_on then Obs.Tracing.intern tracer "steal-fail" else 0 in
     let n_probe = if tr_on then Obs.Tracing.intern tracer "termination-probe" else 0 in
+    let n_spill = if tr_on then Obs.Tracing.intern tracer "store-spill" else 0 in
+    let n_merge = if tr_on then Obs.Tracing.intern tracer "store-merge" else 0 in
+    let n_disk = if tr_on then Obs.Tracing.intern tracer "store-disk-probe" else 0 in
     if tr_on then
       for d = 0 to jobs - 1 do
         Obs.Tracing.set_lane tracer ~dom:d (Fmt.str "worker %d" d)
       done;
+    (* spill/merge/probe spans happen under a shard lock deep in the
+       store, on whichever worker triggered them; a domain-local worker
+       id routes them into that worker's single-writer lane *)
+    let dls_worker = Domain.DLS.new_key (fun () -> -1) in
+    if tr_on then
+      Store.Tiered.set_hooks seen
+        {
+          Store.Tiered.on_spill =
+            (fun ~shard:_ ~entries ~bytes ~start_ns ~stop_ns ->
+              let w = Domain.DLS.get dls_worker in
+              if w >= 0 then
+                Obs.Tracing.span_args tracer ~dom:w ~name:n_spill ~start_ns ~stop_ns
+                  ~args:[ ("entries", Obs.Json.Int entries); ("bytes", Obs.Json.Int bytes) ]);
+          on_merge =
+            (fun ~shard:_ ~segments ~entries ~start_ns ~stop_ns ->
+              let w = Domain.DLS.get dls_worker in
+              if w >= 0 then
+                Obs.Tracing.span_args tracer ~dom:w ~name:n_merge ~start_ns ~stop_ns
+                  ~args:
+                    [ ("segments", Obs.Json.Int segments); ("entries", Obs.Json.Int entries) ]);
+          on_disk_probe =
+            (fun ~shard:_ ~hit ~start_ns ~stop_ns ->
+              let w = Domain.DLS.get dls_worker in
+              if w >= 0 then
+                Obs.Tracing.span_args tracer ~dom:w ~name:n_disk ~start_ns ~stop_ns
+                  ~args:[ ("hit", Obs.Json.Bool hit) ]);
+        };
+    (* per-shard resident-bytes gauges (tier-0 occupancy x entry size),
+       refreshed on every heartbeat; own registry so repeated runs in one
+       process do not pile up in the default one *)
+    let gauge_registry = Obs.Metrics.create_registry () in
+    let shard_gauges =
+      if Obs.Reporter.enabled obs then
+        Array.init Store.Tiered.n_shards (fun i ->
+            Obs.Metrics.gauge ~registry:gauge_registry (Fmt.str "bytes_resident.%02d" i))
+      else [||]
+    in
+    let refresh_gauges () =
+      if Array.length shard_gauges > 0 then
+        Array.iteri
+          (fun i b -> Obs.Metrics.set shard_gauges.(i) (float_of_int b))
+          (Store.Tiered.resident_bytes_per_shard seen)
+    in
     let busy_ns = Array.make jobs 0 in
     let idle_ns = Array.make jobs 0 in
     let steals = Array.make jobs 0 in
     let steal_fails = Array.make jobs 0 in
     let stolen_tasks = Array.make jobs 0 in
     let term_probes = Array.make jobs 0 in
-    let states = Atomic.make 0 in
-    let transitions = Atomic.make 0 in
-    let deadlocks = Atomic.make 0 in
-    let truncated = Atomic.make false in
+    let resume_int f = match resume with Some s -> f s | None -> 0 in
+    let states = Atomic.make (resume_int (fun s -> s.Store.Checkpoint.states)) in
+    let transitions = Atomic.make (resume_int (fun s -> s.Store.Checkpoint.transitions)) in
+    let deadlocks = Atomic.make (resume_int (fun s -> s.Store.Checkpoint.deadlocks)) in
+    let truncated =
+      Atomic.make (match resume with Some s -> s.Store.Checkpoint.truncated | None -> false)
+    in
     (* best violation: (depth, fingerprint) with min-tie-break.  The depth
        mirror is atomic so the expansion fast path can prune without
        taking the mutex; fp/inv are only read after the pool joins. *)
@@ -496,6 +292,12 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     let best_depth = Atomic.make max_int in
     let best_fp = ref 0 in
     let best_inv = ref (-1) in
+    (match resume with
+    | Some { Store.Checkpoint.best = Some (d, fp, inv); _ } ->
+      Atomic.set best_depth d;
+      best_fp := fp;
+      best_inv := inv
+    | _ -> ());
     let offer ~depth ~fp ~inv =
       if depth <= Atomic.get best_depth then begin
         Mutex.lock best_lock;
@@ -519,6 +321,10 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     let coverage =
       Array.init jobs (fun _ -> Hashtbl.create (if track_coverage then 512 else 1))
     in
+    (match resume with
+    | Some snap ->
+      List.iter (fun pair -> Hashtbl.replace coverage.(0) pair ()) snap.Store.Checkpoint.covered
+    | None -> ());
     let record_event w ev =
       if track_coverage then begin
         match ev with
@@ -528,6 +334,11 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           Hashtbl.replace coverage.(w) (responder, resp_label) ()
       end
     in
+    let merged_covered () =
+      let merged = Hashtbl.create 512 in
+      Array.iter (fun tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace merged k ()) tbl) coverage;
+      Explore.sort_coverage (Hashtbl.fold (fun k () acc -> k :: acc) merged [])
+    in
     let fp0 = Fingerprint.hash (fp_of initial) in
     let dummy_task = (fp0, initial, 0) in
     let deques = Array.init jobs (fun _ -> Deque.create ~dummy:dummy_task) in
@@ -536,34 +347,99 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       Deque.push_list deques.(w) tasks
     in
     let reconstruct fp broken =
-      (* chain of (fingerprint, packed event) from the root to [fp] ... *)
+      (* chain of (fingerprint, event) from the root to [fp], replayed
+         forward by the shared {!Explore.replay_chain} (same-label
+         successors disambiguated by the recorded fingerprint) *)
       let rec back fp acc =
-        match Seen.find seen fp with
-        | Some (parent, ev) when parent <> 0 -> back parent ((fp, ev) :: acc)
+        match Store.Tiered.find seen fp with
+        | Some (parent, ev) when parent <> 0 ->
+          back parent ((fp, Store.Event_codec.decode codec ev) :: acc)
         | _ -> acc
       in
       let chain = back fp [] in
-      (* ... replayed forward, disambiguating same-label successors by the
-         recorded fingerprint (as in Explore.run). *)
-      let rec replay sys chain acc =
-        match chain with
-        | [] -> List.rev acc
-        | (fp', code) :: rest -> (
-          let ev = decode_event labels code in
-          let next =
-            List.find_map
-              (fun (e, s') ->
-                if e = ev then
-                  let s' = norm s' in
-                  if Fingerprint.hash (fp_of s') = fp' then Some s' else None
-                else None)
-              (Cimp.System.steps sys)
-          in
-          match next with
-          | Some s' -> replay s' rest ({ Trace.event = ev; state = s' } :: acc)
-          | None -> List.rev acc (* unreachable: the chain records real transitions *))
+      let steps =
+        Explore.replay_chain ~norm
+          ~matches:(fun s' fp' -> Fingerprint.hash (fp_of s') = fp')
+          initial chain
       in
-      { Trace.initial; steps = replay initial chain []; broken }
+      { Trace.initial; steps; broken }
+    in
+    (* -- checkpoint rendezvous ---------------------------------------------
+
+       Worker 0 coordinates.  When due, it raises [ckpt_req]; the other
+       workers notice at a batch boundary (or inside the idle-steal spin)
+       and park in [ckpt_wait] until the snapshot is written.  A parked
+       worker holds no popped-but-unprocessed task and no lock, so at
+       full rendezvous the deques plus the atomic counters are the whole
+       exploration state, and pending equals the sum of deque lengths.
+       If the coordinator observes pending = 0 while gathering the pool
+       it aborts (workers may already be exiting through quiescence; the
+       post-join final snapshot covers that case). *)
+    let ckpt = Option.map (fun (dir, every) -> (dir, max 1 every)) checkpoint in
+    let ckpt_req = Atomic.make false in
+    let ckpt_arrived = Atomic.make 0 in
+    let ckpt_gen = Atomic.make 0 in
+    let ckpt_seq = ref (match resume with Some s -> s.Store.Checkpoint.seq + 1 | None -> 1) in
+    let last_ckpt_states = ref (Atomic.get states) in
+    let do_snapshot dir =
+      let elapsed_now = base_elapsed +. Obs.Clock.elapsed_s ~since:t0_ns in
+      let frontier =
+        Array.map (fun d -> List.map (fun (fp, _, dep) -> (fp, dep)) (Deque.to_list d)) deques
+      in
+      let best =
+        if Atomic.get best_depth = max_int then None
+        else Some (Atomic.get best_depth, !best_fp, !best_inv)
+      in
+      Store.Checkpoint.write ~dir ~seq:!ckpt_seq ~config:run_config ~store:seen
+        ~states:(Atomic.get states) ~transitions:(Atomic.get transitions)
+        ~deadlocks:(Atomic.get deadlocks) ~truncated:(Atomic.get truncated)
+        ~elapsed_s:elapsed_now ~best ~frontier ~covered:(merged_covered ());
+      if Obs.Reporter.enabled obs then
+        Obs.Reporter.emit obs "checkpoint"
+          [
+            ("checker", Obs.Json.String "par-explore");
+            ("seq", Obs.Json.Int !ckpt_seq);
+            ("states", Obs.Json.Int (Atomic.get states));
+            ("frontier", Obs.Json.Int (Atomic.get pending));
+            ("dir", Obs.Json.String dir);
+          ];
+      incr ckpt_seq;
+      last_ckpt_states := Atomic.get states
+    in
+    let ckpt_wait w =
+      if w > 0 && Atomic.get ckpt_req then begin
+        let gen = Atomic.get ckpt_gen in
+        Atomic.incr ckpt_arrived;
+        while Atomic.get ckpt_req && Atomic.get ckpt_gen = gen do
+          Domain.cpu_relax ()
+        done;
+        Atomic.decr ckpt_arrived
+      end
+    in
+    let maybe_checkpoint w =
+      match ckpt with
+      | None -> ()
+      | Some (dir, every) ->
+        if w > 0 then ckpt_wait w
+        else if Atomic.get states - !last_ckpt_states >= every then begin
+          if jobs = 1 then do_snapshot dir
+          else begin
+            Atomic.set ckpt_req true;
+            let parked = ref false in
+            let quiescent = ref false in
+            while not (!parked || !quiescent) do
+              if Atomic.get ckpt_arrived >= jobs - 1 then parked := true
+              else if Atomic.get pending = 0 then quiescent := true
+              else Domain.cpu_relax ()
+            done;
+            if !parked then do_snapshot dir;
+            Atomic.incr ckpt_gen;
+            Atomic.set ckpt_req false;
+            while Atomic.get ckpt_arrived > 0 do
+              Domain.cpu_relax ()
+            done
+          end
+        end
     in
     (* One worker: expand tasks from the own deque, steal when dry, exit
        at quiescence.  Each worker emits its own heartbeats (tagged with
@@ -571,6 +447,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
        single-writer-per-lane tracing discipline holds without any
        coordinator involvement. *)
     let worker w () =
+      Domain.DLS.set dls_worker w;
       let iv = ivs.(w) in
       let own = deques.(w) in
       (* per-phase accumulators, flushed as one [expand] span (phase
@@ -620,6 +497,8 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
               if interval > 0. then float_of_int (!expanded - !hb_expanded) /. interval else 0.
             in
             let gc = Gc.quick_stat () in
+            refresh_gauges ();
+            let st = Store.Tiered.stats seen in
             Obs.Reporter.emit obs "heartbeat"
               [
                 ("checker", Obs.Json.String "par-explore");
@@ -630,6 +509,13 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
                 ("transitions", Obs.Json.Int (Atomic.get transitions));
                 ("states_per_sec", Obs.Json.Float rate);
                 ("heap_words", Obs.Json.Int gc.Gc.heap_words);
+                ("bytes_resident", Obs.Json.Int st.Store.Tiered.resident_bytes);
+                ("mem_budget", Obs.Json.Int (Store.Tiered.mem_budget seen));
+                ("segments", Obs.Json.Int st.Store.Tiered.segments);
+                ( "spilled_states",
+                  Obs.Json.Int
+                    (max 0 (Store.Tiered.count seen - st.Store.Tiered.resident_entries)) );
+                ("store", Obs.Metrics.dump ~registry:gauge_registry ());
               ]
           end;
           flush_span ();
@@ -638,7 +524,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
         end
       in
       let process (fp, sys, d_task) =
-        (match Seen.begin_expand seen fp ~depth:d_task with
+        (match Store.Tiered.begin_expand seen fp ~depth:d_task with
         | `Stale -> ()
         | (`First d | `Again d) as claim ->
           if (not (Atomic.get truncated)) && d < Atomic.get best_depth then begin
@@ -665,25 +551,25 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
                   if d' <= Atomic.get best_depth then begin
                     let added =
                       timed ins_ns (fun () ->
-                          Seen.add seen fp' ~parent:fp
-                            ~event:(encode_event label_ids event)
+                          Store.Tiered.add seen fp' ~parent:fp
+                            ~event:(Store.Event_codec.encode codec event)
                             ~depth:d')
                     in
                     match added with
-                    | Seen.Fresh ->
+                    | Store.Tiered.Fresh ->
                       let n = Atomic.fetch_and_add states 1 + 1 in
                       if n >= max_states then Atomic.set truncated true;
                       (match timed inv_ns (fun () -> iv.Inv_stats.check sys') with
                       | Some name ->
                         let idx = inv_index name in
-                        Seen.mark_violation seen fp' idx;
+                        Store.Tiered.mark_violation seen fp' idx;
                         offer ~depth:d' ~fp:fp' ~inv:idx
                       | None -> ());
                       if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
-                    | Seen.Improved viol ->
+                    | Store.Tiered.Improved viol ->
                       if viol >= 0 then offer ~depth:d' ~fp:fp' ~inv:viol;
                       if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
-                    | Seen.Stale -> ()
+                    | Store.Tiered.Stale -> ()
                   end
                 end
                 else Atomic.set truncated true)
@@ -713,6 +599,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       in
       let backoff = ref 0 in
       let rec main () =
+        maybe_checkpoint w;
         match Deque.pop_batch own pop_batch_size with
         | [] -> idle ()
         | tasks ->
@@ -726,6 +613,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
         let ep_start = Obs.Clock.monotonic_ns () in
         let sweeps = ref 0 in
         let rec spin () =
+          maybe_checkpoint w;
           let t_sweep = Obs.Clock.monotonic_ns () in
           match try_steal () with
           | Some (v, ts) ->
@@ -776,27 +664,77 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       in
       main ()
     in
-    (* root: published before the pool spawns, so no worker can observe
-       pending = 0 before the root task exists *)
-    ignore (Seen.add seen fp0 ~parent:0 ~event:0 ~depth:0);
-    Atomic.set states 1;
-    (match ivs.(0).Inv_stats.check initial with
-    | Some name ->
-      let idx = inv_index name in
-      Seen.mark_violation seen fp0 idx;
-      offer ~depth:0 ~fp:fp0 ~inv:idx
-    | None -> ());
-    publish 0 [ (fp0, initial, 0) ];
+    (* root (or restored frontier): published before the pool spawns, so
+       no worker can observe pending = 0 before the first task exists *)
+    (match resume with
+    | None ->
+      ignore (Store.Tiered.add seen fp0 ~parent:0 ~event:0 ~depth:0);
+      Atomic.set states 1;
+      (match ivs.(0).Inv_stats.check initial with
+      | Some name ->
+        let idx = inv_index name in
+        Store.Tiered.mark_violation seen fp0 idx;
+        offer ~depth:0 ~fp:fp0 ~inv:idx
+      | None -> ());
+      publish 0 [ (fp0, initial, 0) ]
+    | Some snap ->
+      (* frontier states were snapshotted as (fingerprint, depth) only;
+         rebuild each by memoized parent-chain replay — the trusted
+         counterexample mechanism — and redistribute round-robin *)
+      if Store.Tiered.find seen fp0 = None then
+        invalid_arg "Par_explore.run: checkpoint does not match this model configuration";
+      let cache = Hashtbl.create 4096 in
+      Hashtbl.add cache fp0 initial;
+      let rec state_of fp =
+        match Hashtbl.find_opt cache fp with
+        | Some s -> s
+        | None -> (
+          match Store.Tiered.find seen fp with
+          | Some (parent, code) when parent <> 0 -> (
+            let psys = state_of parent in
+            let ev = Store.Event_codec.decode codec code in
+            match
+              List.find_map
+                (fun (e, s') ->
+                  if e = ev then begin
+                    let s' = norm s' in
+                    if Fingerprint.hash (fp_of s') = fp then Some s' else None
+                  end
+                  else None)
+                (Cimp.System.steps psys)
+            with
+            | Some s ->
+              Hashtbl.add cache fp s;
+              s
+            | None ->
+              invalid_arg
+                "Par_explore.run: cannot replay a checkpointed frontier state (model mismatch?)")
+          | _ ->
+            invalid_arg "Par_explore.run: frontier fingerprint missing from the checkpoint store"
+        )
+      in
+      let i = ref 0 in
+      Array.iter
+        (fun tasks ->
+          List.iter
+            (fun (fp, d) ->
+              publish (!i mod jobs) [ (fp, state_of fp, d) ];
+              incr i)
+            tasks)
+        snap.Store.Checkpoint.frontier);
     let doms = Array.init (jobs - 1) (fun j -> Domain.spawn (worker (j + 1))) in
     worker 0 ();
     Array.iter Domain.join doms;
-    let elapsed = Obs.Clock.elapsed_s ~since:t0_ns in
+    (* a final snapshot (frontier empty) makes resume-after-completion
+       report the finished verdict instead of failing *)
+    (match ckpt with Some (dir, _) -> do_snapshot dir | None -> ());
+    let elapsed = base_elapsed +. Obs.Clock.elapsed_s ~since:t0_ns in
     let violation =
       if Atomic.get best_depth = max_int then None
       else Some (reconstruct !best_fp inv_names.(!best_inv))
     in
     let depth =
-      if violation = None then Seen.max_depth seen else Atomic.get best_depth
+      if violation = None then Store.Tiered.max_depth seen else Atomic.get best_depth
     in
     let first_violation = Option.map (fun tr -> tr.Trace.broken) violation in
     Array.iter (fun iv -> iv.Inv_stats.report obs ~first_violation) ivs;
@@ -832,13 +770,15 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
           ("states_per_sec", Obs.Json.Float rate);
         ];
       (* contention attribution + Amdahl decomposition of this run *)
-      let lock_stats, shard_wait_s = Obs.Contention.shard_summary (Seen.locks seen) in
+      let lock_stats, shard_wait_s = Obs.Contention.shard_summary (Store.Tiered.locks seen) in
       let _, deque_wait_s = Obs.Contention.shard_summary (Deque.locks deques) in
       let ns_s a = Array.map (fun ns -> float_of_int ns *. 1e-9) a in
       let busy_s = ns_s busy_ns and idle_s = ns_s idle_ns in
       let isum a = Array.fold_left ( + ) 0 a in
       let est = Obs.Contention.estimate ~jobs ~wall_s:elapsed ~busy_per_domain:busy_s in
       let flist a = Obs.Json.List (Array.to_list (Array.map (fun v -> Obs.Json.Float v) a)) in
+      let ilist a = Obs.Json.List (Array.to_list (Array.map (fun v -> Obs.Json.Int v) a)) in
+      let st = Store.Tiered.stats seen in
       Obs.Reporter.emit obs "scaling-detail"
         ([
            ("checker", Obs.Json.String "par-explore");
@@ -864,13 +804,28 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
             ("shard_wait_s", flist shard_wait_s);
             ( "deque_wait_s",
               Obs.Json.Float (Array.fold_left ( +. ) 0. deque_wait_s) );
+            (* tiered-store spill attribution *)
+            ("mem_budget", Obs.Json.Int (Store.Tiered.mem_budget seen));
+            ("bytes_resident", Obs.Json.Int st.Store.Tiered.resident_bytes);
+            ( "bytes_resident_per_shard",
+              ilist (Store.Tiered.resident_bytes_per_shard seen) );
+            ("peak_bytes_resident", Obs.Json.Int st.Store.Tiered.peak_resident_bytes);
+            ("spills", Obs.Json.Int st.Store.Tiered.spills);
+            ("merges", Obs.Json.Int st.Store.Tiered.merges);
+            ("segments", Obs.Json.Int st.Store.Tiered.segments);
+            ("spilled_entries", Obs.Json.Int st.Store.Tiered.spilled_entries);
+            ( "spilled_states",
+              Obs.Json.Int (max 0 (Store.Tiered.count seen - st.Store.Tiered.resident_entries))
+            );
+            ("disk_bytes", Obs.Json.Int st.Store.Tiered.disk_bytes);
+            ("disk_probes", Obs.Json.Int st.Store.Tiered.disk_probes);
+            ("disk_hits", Obs.Json.Int st.Store.Tiered.disk_hits);
+            ("bloom_checks", Obs.Json.Int st.Store.Tiered.bloom_checks);
+            ("bloom_negatives", Obs.Json.Int st.Store.Tiered.bloom_negatives);
+            ("segment_mem_bytes", Obs.Json.Int st.Store.Tiered.segment_mem_bytes);
           ])
     end;
-    let covered =
-      let merged = Hashtbl.create 512 in
-      Array.iter (fun tbl -> Hashtbl.iter (fun k () -> Hashtbl.replace merged k ()) tbl) coverage;
-      Explore.sort_coverage (Hashtbl.fold (fun k () acc -> k :: acc) merged [])
-    in
+    let covered = merged_covered () in
     {
       Explore.states;
       transitions;

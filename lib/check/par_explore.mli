@@ -17,7 +17,13 @@
     distances by quiescence, and violations race through an atomic
     best-(depth, fingerprint) cell with min-tie-break.  The minimal trace
     is then recovered by the same bounded parent-chain replay as the
-    sequential explorer.  DESIGN.md §11 gives the minimality argument. *)
+    sequential explorer.  DESIGN.md §11 gives the minimality argument.
+
+    The seen-set is the tiered store of {!Store.Tiered}: 64
+    independently-locked RAM shards that, under a memory budget, freeze
+    into Bloom-fronted sorted on-disk segments (DESIGN.md §12), so state
+    spaces larger than RAM stay exactly deduplicated.  The same segment
+    format powers checkpoint/resume ({!Store.Checkpoint}). *)
 
 type ('a, 'v, 's) outcome = ('a, 'v, 's) Explore.outcome
 
@@ -38,51 +44,15 @@ type hooks = {
 
 val no_hooks : hooks
 
-(** The sharded seen-set, exposed for the multi-domain resize hammer
-    test.  64 independently-locked open-addressing shards over unboxed
-    int bigarrays; four words (32 bytes) per state: fingerprint, parent
-    fingerprint, packed event, and a meta word (depth stamp |
-    violated-invariant index | expanded bit).  Every operation, including
-    the 70%-load doubling, runs entirely under the owning shard's mutex —
-    see the concurrency audit comment in the implementation. *)
-module Seen : sig
-  type t
-
-  (** [add] outcome: [Fresh] if the fingerprint was absent, [Improved v]
-      if present with a larger depth stamp (the (depth, parent, event)
-      triple is rewritten; [v] is the entry's violated-invariant index,
-      -1 if none), [Stale] otherwise. *)
-  type add_result = Fresh | Improved of int | Stale
-
-  val n_shards : int
-
-  (** [create ?shard_cap ()] with [shard_cap] initial slots per shard
-      (default 1024; must be a power of two).  Small caps force early
-      doubling, which the resize hammer test exploits. *)
-  val create : ?shard_cap:int -> unit -> t
-
-  (** [add t fp ~parent ~event ~depth]; [fp] must be non-zero
-      ({!Fingerprint.hash} never is). *)
-  val add : t -> int -> parent:int -> event:int -> depth:int -> add_result
-
-  (** [(parent, packed event)] of a present fingerprint. *)
-  val find : t -> int -> (int * int) option
-
-  (** Current depth stamp of a present fingerprint. *)
-  val depth_of : t -> int -> int option
-
-  val count : t -> int
-
-  (** Total slots across shards (grows as shards double). *)
-  val capacity : t -> int
-end
-
 val max_jobs : int
 
 (** [run ~jobs ~invariants initial] explores like {!Explore.run} but
     across [jobs] worker domains.  [jobs <= 1] (the default) delegates to
-    {!Explore.run}, so default results are bit-for-bit the sequential
-    ones; [jobs] is capped at {!max_jobs}.
+    {!Explore.run} when no store or checkpoint option is given, so
+    default results are bit-for-bit the sequential ones; with
+    [mem_budget], [checkpoint] or [resume] the pool runs even at one
+    worker (a single FIFO deque, still deterministic BFS order).  [jobs]
+    is capped at {!max_jobs}.
 
     Determinism contract across [jobs]:
     - a non-truncated run with no violation reports exactly the
@@ -90,7 +60,9 @@ val max_jobs : int
       [deadlocks]) and [covered] list: every reachable state is inserted
       exactly once, and transitions/deadlocks are counted only on a
       state's first expansion (depth-improvement re-expansions recount
-      nothing);
+      nothing).  One caveat under [mem_budget]: [depth] may overstate
+      when a spilled entry is later depth-improved (the stale deeper
+      copy persists on disk until a merge rewrites it);
     - a violating run reports a violation of minimal depth; among
       equal-depth violations the smallest fingerprint wins, so the
       verdict, the violated invariant and the counterexample length are
@@ -102,27 +74,56 @@ val max_jobs : int
 
     @param hooks scheduler observation hooks for tests
            (default {!no_hooks}).
+    @param mem_budget resident-byte budget for the seen-set
+           ({!Store.Tiered.create}); shards crossing their slice of it
+           freeze into on-disk segments.  Absent, everything stays in
+           RAM.
+    @param spill_dir directory for segment files (default: a fresh
+           temporary directory, removed contents excepted).
+    @param checkpoint [(dir, every)]: snapshot the full exploration state
+           into [dir] (atomically, {!Store.Checkpoint.write}) every
+           [every] newly inserted states, and once more after the run
+           completes.  Worker 0 coordinates a stop-the-world rendezvous:
+           the pool parks at batch boundaries, where deques + counters
+           are the entire frontier.
+    @param resume a snapshot loaded by {!Store.Checkpoint.load}; the run
+           continues from it (frontier states are rebuilt by memoized
+           parent-chain replay, since CIMP systems embed closures and
+           cannot be marshalled) and on an interrupted-then-resumed run
+           reaches the same verdict, violated invariant and
+           counterexample length as an uninterrupted one.  Raises
+           [Invalid_argument] if the snapshot does not match the model.
+    @param run_config opaque JSON echoed into each snapshot's manifest,
+           so [gcmodel resume] can rebuild the model and flags.
 
     Remaining parameters are as in {!Explore.run}.  When [obs] is
     enabled, each worker emits its own [heartbeat] records tagged with a
-    [domain] index (the [frontier] field reports the pending-task count),
-    each worker reports its own per-[invariant] records (aggregate across
-    domains for totals), and the run ends with an [outcome] record, a
-    [scaling] record ([jobs], [states], [elapsed_s], [states_per_sec])
-    for speedup-vs-domains tracking, and a [scaling-detail] record:
+    [domain] index (the [frontier] field reports the pending-task count)
+    carrying store occupancy ([bytes_resident], [mem_budget],
+    [segments], [spilled_states], and a [store] metrics dump with a
+    per-shard [bytes_resident.NN] gauge each), each worker reports its
+    own per-[invariant] records (aggregate across domains for totals),
+    and the run ends with an [outcome] record, a [scaling] record
+    ([jobs], [states], [elapsed_s], [states_per_sec]) for
+    speedup-vs-domains tracking, and a [scaling-detail] record:
     per-domain busy and idle seconds, steal / failed-steal / stolen-task
     / termination-probe counters, seen-set shard lock contention
-    (acquires, contended acquires, per-shard wait), deque lock wait, and
-    the Amdahl serial-fraction estimate ({!Obs.Contention.estimate}).
+    (acquires, contended acquires, per-shard wait), deque lock wait, the
+    Amdahl serial-fraction estimate ({!Obs.Contention.estimate}), and
+    the tiered-store counters (resident/peak/disk bytes, spills, merges,
+    segments, spilled entries, disk probe and Bloom statistics).  Each
+    checkpoint also emits a [checkpoint] record ([seq], [states],
+    [frontier], [dir]).
 
     When [tracer] is live with at least [jobs] lanes, each worker's own
     lane (single-writer discipline, no coordinator involvement) carries
     [expand] spans per heartbeat interval with [successor-gen] /
     [normalize+fingerprint] / [seen-insert] / [invariants] /
     [deque-push] phase sub-spans, a [steal] span per successful steal, a
-    [steal-fail] span per empty-handed victim sweep episode, and a
+    [steal-fail] span per empty-handed victim sweep episode, a
     [termination-probe] span at the quiescence check that ends the
-    worker's run. *)
+    worker's run, and [store-spill] / [store-merge] / [store-disk-probe]
+    spans on the worker whose insert triggered the store event. *)
 val run :
   ?jobs:int ->
   ?max_states:int ->
@@ -133,6 +134,11 @@ val run :
   ?heartbeat_every:int ->
   ?hooks:hooks ->
   ?reducer:('a, 'v, 's) Reducer.t ->
+  ?mem_budget:int ->
+  ?spill_dir:string ->
+  ?checkpoint:string * int ->
+  ?resume:Store.Checkpoint.snapshot ->
+  ?run_config:Obs.Json.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->
   ('a, 'v, 's) outcome

@@ -102,7 +102,48 @@ let metrics_of_report report =
         scenarios
     | Some _ -> []
   in
-  groups @ checker @ par @ reduce
+  let store =
+    match Json.member "checker_store" report with
+    | None -> []
+    | Some p ->
+      List.concat_map
+        (fun row ->
+          match smember "label" row with
+          | None -> []
+          | Some label ->
+            List.filter_map
+              (fun (suffix, k) ->
+                Option.map
+                  (fun v -> (Fmt.str "checker_store %s %s" label suffix, Higher_better, v))
+                  (fmember k row))
+              [ ("states_per_gb", "states_per_gb"); ("states_per_sec", "states_per_sec") ])
+        (lmember "rows" p)
+  in
+  groups @ checker @ par @ reduce @ store
+
+(* Top-level report keys benchcmp understands: metric sections it
+   flattens, sections it deliberately skips, and run metadata.  Anything
+   else is an unknown metric section from a newer (or older) report
+   schema — warn and skip it rather than silently pretend the reports
+   fully agree. *)
+let known_sections =
+  [
+    (* metric sections *)
+    "groups"; "checker"; "checker_par"; "checker_reduce"; "checker_store";
+    (* deliberately excluded: states-to-kill moves with search order *)
+    "campaign";
+    (* metadata *)
+    "schema"; "ocaml_version"; "git_commit"; "hostname"; "domains_available";
+    "recommended_domains";
+  ]
+
+let unknown_sections report =
+  match report with
+  | Json.Obj fields ->
+    List.filter_map
+      (fun (k, _) -> if List.mem k known_sections then None else Some k)
+      fields
+  | _ -> []
 
 (* -- comparison --------------------------------------------------------------- *)
 
@@ -137,6 +178,15 @@ let compare_reports ?(threshold = default_threshold) ~old_ new_ =
            (match (smember "ocaml_version" old_, smember "ocaml_version" new_) with
            | Some a, Some b when a <> b -> warn "compiler skew: OCaml %s vs %s" a b
            | _ -> ());
+           List.iter
+             (fun (name, report) ->
+               match unknown_sections report with
+               | [] -> ()
+               | ks ->
+                 warn "unknown metric section%s in %s report: %s (skipped)"
+                   (if List.length ks = 1 then "" else "s")
+                   name (String.concat ", " ks))
+             [ ("old", old_); ("new", new_) ];
            let m_old = metrics_of_report old_ and m_new = metrics_of_report new_ in
            let tbl = Hashtbl.create 64 in
            List.iter (fun (k, d, v) -> Hashtbl.replace tbl k (d, v)) m_old;

@@ -37,9 +37,19 @@ type result = {
     Every consumer (benchdiff, [bench --against], CI) defaults to this. *)
 val default_threshold : float
 
-(** Flatten one parsed report into [(key, direction, value)] metrics.
-    Unknown blocks are ignored, so v2 and v3 reports both work. *)
+(** Flatten one parsed report into [(key, direction, value)] metrics:
+    Bechamel groups (ns/run, lower better), the checker / checker_par /
+    checker_reduce throughput blocks and the checker_store block
+    (states/sec and states-per-GB, higher better).  Unknown blocks are
+    skipped here; {!compare_reports} surfaces them as warnings. *)
 val metrics_of_report : Json.t -> (string * direction * float) list
+
+(** Top-level keys of [report] that benchcmp does not understand (not a
+    metric section, not deliberately excluded, not metadata) — a newer
+    or older report schema.  {!compare_reports} warns about these and
+    skips them instead of silently treating the reports as fully
+    compared. *)
+val unknown_sections : Json.t -> string list
 
 (** [compare_reports ~old_ new_] compares two parsed reports.  [Error]
     only for structural refusals (different hostnames, not objects);

@@ -17,6 +17,10 @@ type t = {
   mutable shard_heat : float array;  (* per-shard share of total lock wait *)
   mutable lock_wait_pct : float;  (* lock wait as % of aggregate busy time *)
   mutable serial_fraction : float;  (* < 0 = unknown *)
+  mutable bytes_resident : int;  (* tiered-store tier-0 occupancy; < 0 = unknown *)
+  mutable mem_budget : int;  (* 0 = unbounded (all-RAM) *)
+  mutable segments : int;  (* on-disk segment files; < 0 = unknown *)
+  mutable spilled_states : int;  (* states only on disk; < 0 = unknown *)
   mutable verdict : string option;
   mutable drawn : int;  (* lines on screen from the previous draw *)
   mutable last_draw_ns : int;
@@ -46,6 +50,10 @@ let create ?mode ?(out = fun s -> output_string stderr s; flush stderr) () =
     shard_heat = [||];
     lock_wait_pct = 0.;
     serial_fraction = -1.;
+    bytes_resident = -1;
+    mem_budget = 0;
+    segments = -1;
+    spilled_states = -1;
     verdict = None;
     drawn = 0;
     last_draw_ns = 0;
@@ -63,6 +71,12 @@ let bar width frac =
   let frac = Float.max 0. (Float.min 1. frac) in
   let full = int_of_float (frac *. float_of_int width) in
   String.init width (fun i -> if i < full then '#' else '.')
+
+let human_bytes n =
+  if n >= 1 lsl 30 then Fmt.str "%.1fG" (float_of_int n /. float_of_int (1 lsl 30))
+  else if n >= 1 lsl 20 then Fmt.str "%.1fM" (float_of_int n /. float_of_int (1 lsl 20))
+  else if n >= 1 lsl 10 then Fmt.str "%.1fk" (float_of_int n /. float_of_int (1 lsl 10))
+  else Fmt.str "%dB" n
 
 let heat_glyphs = " .:-=+*#%@"
 
@@ -110,7 +124,24 @@ let panel_lines t =
           (if t.serial_fraction >= 0. then Fmt.str "  serial-frac %.2f" t.serial_fraction else "");
       ]
   in
-  head :: (doms @ shards)
+  (* tiered-store panel: only once a run reports store occupancy, and
+     only interesting when a budget bounds it or something has spilled *)
+  let store =
+    if t.bytes_resident >= 0 && (t.mem_budget > 0 || t.segments > 0) then
+      [
+        Fmt.str "  store  %s%s resident%s%s"
+          (human_bytes t.bytes_resident)
+          (if t.mem_budget > 0 then
+             Fmt.str "/%s (%s)" (human_bytes t.mem_budget)
+               (bar 20 (float_of_int t.bytes_resident /. float_of_int t.mem_budget))
+           else "")
+          (if t.segments > 0 then Fmt.str "  segments %d" t.segments else "")
+          (if t.spilled_states > 0 then Fmt.str "  spilled %s states" (human t.spilled_states)
+           else "");
+      ]
+    else []
+  in
+  head :: (doms @ shards @ store)
 
 let draw ?(force = false) t =
   if not t.finished then begin
@@ -177,6 +208,10 @@ let update t event fields =
         | Some r -> Some r
         | None -> ffield fields "steps_per_sec"
       in
+      Option.iter (fun b -> t.bytes_resident <- b) (ifield fields "bytes_resident");
+      Option.iter (fun b -> t.mem_budget <- b) (ifield fields "mem_budget");
+      Option.iter (fun s -> t.segments <- s) (ifield fields "segments");
+      Option.iter (fun s -> t.spilled_states <- s) (ifield fields "spilled_states");
       (match (ifield fields "domain", rate) with
       | Some d, Some r ->
         ensure_dom t d;

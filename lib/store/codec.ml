@@ -1,0 +1,32 @@
+(* LEB128 over the 63-bit pattern.  [lsr] (not [asr]) drives the encode
+   loop so negative ints — structural fingerprints and packed rendezvous
+   events both use bit 62 — terminate in <= 9 groups. *)
+
+let max_varint_bytes = 9
+
+let add_varint b v =
+  let v = ref v in
+  let continue = ref true in
+  while !continue do
+    let low = !v land 0x7f in
+    v := !v lsr 7;
+    if !v = 0 then begin
+      Buffer.add_char b (Char.unsafe_chr low);
+      continue := false
+    end
+    else Buffer.add_char b (Char.unsafe_chr (low lor 0x80))
+  done
+
+let get_varint b pos =
+  let v = ref 0 in
+  let shift = ref 0 in
+  let pos = ref pos in
+  let continue = ref true in
+  while !continue do
+    let c = Char.code (Bytes.get b !pos) in
+    incr pos;
+    v := !v lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c land 0x80 = 0 then continue := false
+  done;
+  (!v, !pos)

@@ -1,0 +1,17 @@
+(** Variable-length integer codec for the on-disk segment format.
+
+    LEB128 over the *bit pattern* of the native int, shifted with
+    logical [lsr]: a non-negative int below 2^7k costs k bytes, while
+    ints with the sign bit set (structural fingerprints and packed
+    rendezvous events both can carry bit 62) round-trip in at most 9
+    bytes instead of looping forever under an arithmetic shift.  The
+    codec is therefore total on the whole 63-bit int range. *)
+
+val add_varint : Buffer.t -> int -> unit
+
+(** [get_varint b pos] decodes one varint at [pos]; returns the value and
+    the position just past it. *)
+val get_varint : Bytes.t -> int -> int * int
+
+(** Upper bound on the encoded size of any int (9 bytes: ceil 63/7). *)
+val max_varint_bytes : int

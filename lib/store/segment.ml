@@ -1,0 +1,227 @@
+type entry = { fp : int; parent : int; event : int; meta : int }
+
+type t = {
+  path : string;
+  shard : int;
+  seq : int;
+  n : int;
+  max_depth : int;
+  bloom : Bloom.t;
+  index_fp : int array;  (* first fingerprint of each block *)
+  index_off : int array;  (* block offset within the data region *)
+  data_pos : int;  (* file offset of the data region *)
+  data_len : int;
+  disk_bytes : int;
+}
+
+let magic = "GCSEG001"
+let block_size = 256
+
+let path t = t.path
+let shard t = t.shard
+let seq t = t.seq
+let length t = t.n
+let max_depth t = t.max_depth
+let disk_bytes t = t.disk_bytes
+
+let mem_bytes t =
+  Bloom.bytes t.bloom + (2 * 8 * Array.length t.index_fp) + 96 (* record + headers *)
+
+let write ~path ~shard ~seq ~max_depth entries =
+  let n = Array.length entries in
+  let bloom = Bloom.create ~expected:n in
+  let data = Buffer.create (32 * n) in
+  let n_blocks = (n + block_size - 1) / block_size in
+  let index_fp = Array.make (max 1 n_blocks) 0 in
+  let index_off = Array.make (max 1 n_blocks) 0 in
+  let prev = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if e.fp = 0 then invalid_arg "Segment.write: zero fingerprint";
+      if i > 0 && e.fp <= !prev then invalid_arg "Segment.write: entries not sorted";
+      if e.meta land 0xFFFFFFFF <> e.meta then invalid_arg "Segment.write: meta exceeds 32 bits";
+      Bloom.add bloom e.fp;
+      if i mod block_size = 0 then begin
+        index_fp.(i / block_size) <- e.fp;
+        index_off.(i / block_size) <- Buffer.length data;
+        Codec.add_varint data e.fp
+      end
+      else Codec.add_varint data (e.fp - !prev);
+      prev := e.fp;
+      Codec.add_varint data e.parent;
+      Codec.add_varint data e.event;
+      Codec.add_varint data e.meta)
+    entries;
+  let header = Buffer.create 1024 in
+  Codec.add_varint header shard;
+  Codec.add_varint header seq;
+  Codec.add_varint header n;
+  Codec.add_varint header max_depth;
+  Bloom.write header bloom;
+  Codec.add_varint header n_blocks;
+  for b = 0 to n_blocks - 1 do
+    Codec.add_varint header index_fp.(b);
+    Codec.add_varint header index_off.(b)
+  done;
+  Codec.add_varint header (Buffer.length data);
+  let hlen = Buffer.create Codec.max_varint_bytes in
+  Codec.add_varint hlen (Buffer.length header);
+  let oc = open_out_bin path in
+  output_string oc magic;
+  Buffer.output_buffer oc hlen;
+  Buffer.output_buffer oc header;
+  Buffer.output_buffer oc data;
+  flush oc;
+  (* spilled entries must survive a crash once a checkpoint hard-links
+     the segment, so pay the fsync at freeze time *)
+  Unix.fsync (Unix.descr_of_out_channel oc);
+  close_out oc;
+  let data_pos = String.length magic + Buffer.length hlen + Buffer.length header in
+  {
+    path;
+    shard;
+    seq;
+    n;
+    max_depth;
+    bloom;
+    index_fp = Array.sub index_fp 0 n_blocks;
+    index_off = Array.sub index_off 0 n_blocks;
+    data_pos;
+    data_len = Buffer.length data;
+    disk_bytes = data_pos + Buffer.length data;
+  }
+
+let read_varint_ic ic =
+  let v = ref 0 and shift = ref 0 and continue = ref true in
+  while !continue do
+    let c = Char.code (input_char ic) in
+    v := !v lor ((c land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if c land 0x80 = 0 then continue := false
+  done;
+  !v
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith ("Segment.load: bad magic in " ^ path);
+      let hlen = read_varint_ic ic in
+      let header = Bytes.create hlen in
+      really_input ic header 0 hlen;
+      let data_pos = pos_in ic in
+      let pos = 0 in
+      let shard, pos = Codec.get_varint header pos in
+      let seq, pos = Codec.get_varint header pos in
+      let n, pos = Codec.get_varint header pos in
+      let max_depth, pos = Codec.get_varint header pos in
+      let bloom, pos = Bloom.read header pos in
+      let n_blocks, pos = Codec.get_varint header pos in
+      let index_fp = Array.make (max 1 n_blocks) 0 in
+      let index_off = Array.make (max 1 n_blocks) 0 in
+      let pos = ref pos in
+      for b = 0 to n_blocks - 1 do
+        let fp, p = Codec.get_varint header !pos in
+        let off, p = Codec.get_varint header p in
+        index_fp.(b) <- fp;
+        index_off.(b) <- off;
+        pos := p
+      done;
+      let data_len, _ = Codec.get_varint header !pos in
+      {
+        path;
+        shard;
+        seq;
+        n;
+        max_depth;
+        bloom;
+        index_fp;
+        index_off;
+        data_pos;
+        data_len;
+        disk_bytes = data_pos + data_len;
+      })
+
+(* Decode the [count] entries of the block stored in [buf], calling [f]
+   on each; stops early when [f] returns false. *)
+let decode_block buf count f =
+  let pos = ref 0 in
+  let prev = ref 0 in
+  let i = ref 0 in
+  let go = ref true in
+  while !go && !i < count do
+    let d, p = Codec.get_varint buf !pos in
+    let fp = if !i = 0 then d else !prev + d in
+    prev := fp;
+    let parent, p = Codec.get_varint buf p in
+    let event, p = Codec.get_varint buf p in
+    let meta, p = Codec.get_varint buf p in
+    pos := p;
+    incr i;
+    go := f { fp; parent; event; meta }
+  done
+
+let read_block t b =
+  let off = t.index_off.(b) in
+  let next = if b + 1 < Array.length t.index_off then t.index_off.(b + 1) else t.data_len in
+  let buf = Bytes.create (next - off) in
+  let ic = open_in_bin t.path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      seek_in ic (t.data_pos + off);
+      really_input ic buf 0 (next - off));
+  buf
+
+let block_count t b = min block_size (t.n - (b * block_size))
+
+let maybe t fp = t.n > 0 && Bloom.mem t.bloom fp
+
+let find t fp =
+  if t.n = 0 || not (Bloom.mem t.bloom fp) then None
+  else if fp < t.index_fp.(0) then None
+  else begin
+    (* rightmost block whose first fingerprint is <= fp *)
+    let lo = ref 0 and hi = ref (Array.length t.index_fp - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.index_fp.(mid) <= fp then lo := mid else hi := mid - 1
+    done;
+    let buf = read_block t !lo in
+    let found = ref None in
+    decode_block buf (block_count t !lo) (fun e ->
+        if e.fp = fp then begin
+          found := Some e;
+          false
+        end
+        else e.fp < fp);
+    !found
+  end
+
+let iter t f =
+  if t.n > 0 then begin
+    let data = Bytes.create t.data_len in
+    let ic = open_in_bin t.path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        seek_in ic t.data_pos;
+        really_input ic data 0 t.data_len);
+    for b = 0 to Array.length t.index_off - 1 do
+      let off = t.index_off.(b) in
+      let next = if b + 1 < Array.length t.index_off then t.index_off.(b + 1) else t.data_len in
+      decode_block (Bytes.sub data off (next - off)) (block_count t b) (fun e ->
+          f e;
+          true)
+    done
+  end
+
+let entries t =
+  let out = Array.make t.n { fp = 0; parent = 0; event = 0; meta = 0 } in
+  let i = ref 0 in
+  iter t (fun e ->
+      out.(!i) <- e;
+      incr i);
+  out

@@ -1,0 +1,69 @@
+(** Immutable sorted on-disk segments of seen-set entries.
+
+    A segment is one frozen shard generation: entries sorted by
+    fingerprint (plain int order), delta-compressed in 256-entry blocks,
+    fronted by a Bloom filter and a block index that stay resident.  A
+    membership probe therefore costs a Bloom test (RAM), and only on a
+    positive a binary search of the resident index plus one [pread] of a
+    single block.  File handles are not kept open: probes open, seek,
+    read one block and close, so a run can accumulate hundreds of
+    segments without exhausting descriptors.
+
+    Layout: magic "GCSEG001", a varint header length, then the header
+    (shard, seq, entry count, max depth, Bloom filter, block index as
+    (first fingerprint, data offset) pairs, data length), then the data
+    blocks.  All multi-byte integers are {!Codec} varints over the
+    63-bit pattern, so negative fingerprints and packed events
+    round-trip.  Within a block the first fingerprint is absolute and
+    the rest are deltas from their predecessor (sorted, so the delta is
+    positive except for the wrap-around of int overflow, which the
+    pattern codec reproduces exactly). *)
+
+type entry = {
+  fp : int;  (** fingerprint, never 0 *)
+  parent : int;  (** parent fingerprint, 0 for the root *)
+  event : int;  (** packed generating event *)
+  meta : int;  (** packed meta word; must fit 32 bits *)
+}
+
+type t
+
+val path : t -> string
+val shard : t -> int
+
+(** Freeze sequence number within the shard; higher = newer. *)
+val seq : t -> int
+
+val length : t -> int
+
+(** Largest depth recorded in any entry's meta word at write time. *)
+val max_depth : t -> int
+
+(** On-disk file size in bytes. *)
+val disk_bytes : t -> int
+
+(** Resident footprint (Bloom filter + block index) in bytes. *)
+val mem_bytes : t -> int
+
+(** [write ~path ~shard ~seq ~max_depth entries] writes a segment from
+    entries sorted by [fp] ascending (raises [Invalid_argument] if not,
+    or if a meta word exceeds 32 bits), fsyncs it, and returns the open
+    (resident-parts-loaded) handle. *)
+val write : path:string -> shard:int -> seq:int -> max_depth:int -> entry array -> t
+
+(** Load the resident parts of an existing segment file. *)
+val load : string -> t
+
+(** Bloom-only test: definitive [false], [true] with ~1% false
+    positives.  Exposed so the tiered store can count Bloom rejections
+    separately from real disk probes. *)
+val maybe : t -> int -> bool
+
+(** Exact membership probe: Bloom-gated single-block read. *)
+val find : t -> int -> entry option
+
+(** All entries in fingerprint order (one sequential read of the data
+    region). *)
+val iter : t -> (entry -> unit) -> unit
+
+val entries : t -> entry array

@@ -234,7 +234,7 @@ let test_par_coverage_matches_seq () =
    shard (every fingerprint has zero low bits) through dozens of
    doublings from a deliberately tiny initial capacity. *)
 let test_seen_resize_hammer () =
-  let module Seen = Check.Par_explore.Seen in
+  let module Seen = Store.Tiered in
   let seen = Seen.create ~shard_cap:64 () in
   let initial_capacity = Seen.capacity seen in
   let n_domains = 4 and per_domain = 4_000 in
@@ -335,25 +335,31 @@ let test_par_chain_starved_workers () =
   Alcotest.(check bool) "closed" false par.Check.Explore.truncated
 
 (* Steal-during-termination-probe interleaving, made deterministic with
-   scheduler hooks: worker 0 holds the root expansion (pending stays at 1
-   with every deque empty) until worker 1's quiescence probe has run with
-   pending > 0.  The probe must NOT terminate the run — when worker 0
-   resumes and publishes successors, worker 1 goes back to stealing, and
-   the final counts prove no worker exited early. *)
+   scheduler hooks: whichever worker claims the root expansion (either
+   can — a fast-spawning worker 1 may steal the root before worker 0
+   pops it) holds it (pending stays at 1 with every deque empty) until
+   the other worker's quiescence probe has run with pending > 0.  The
+   probe must NOT terminate the run — when the holder resumes and
+   publishes successors, the prober goes back to stealing, and the final
+   counts prove no worker exited early. *)
 let test_par_steal_during_termination_probe () =
   let probed_nonzero = Atomic.make false in
+  let holder = Atomic.make (-1) in
   let hooks =
     {
       Check.Par_explore.no_hooks with
       on_expand =
         (fun ~worker ~depth ->
-          if worker = 0 && depth = 0 then
+          if depth = 0 then begin
+            Atomic.set holder worker;
             while not (Atomic.get probed_nonzero) do
               Domain.cpu_relax ()
-            done);
+            done
+          end);
       on_probe =
         (fun ~worker ~pending ->
-          if worker <> 0 && pending > 0 then Atomic.set probed_nonzero true);
+          let h = Atomic.get holder in
+          if h >= 0 && worker <> h && pending > 0 then Atomic.set probed_nonzero true);
     }
   in
   let seq = Check.Explore.run ~normal_form:false ~invariants:[] (bounded_counter ()) in

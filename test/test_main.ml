@@ -15,4 +15,5 @@ let () =
       ("tracing", Test_tracing.suite);
       ("explain", Test_explain.suite);
       ("mutate", Test_mutate.suite);
+      ("store", Test_store.suite);
     ]
