@@ -44,7 +44,10 @@ let shape_results () =
    already-marked object and skips the CAS.  CAS path: mark an unmarked
    object (and reset it, so each run pays one CAS + one plain store). *)
 let fig5_tests () =
-  let sh = Runtime.Rshared.make ~n_slots:16 ~n_fields:1 ~n_muts:0 () in
+  (* latency:false — the figure measures the paper's bare mechanism (and
+     stays comparable with pre-observatory reports); the instrumented
+     slow-path cost is the runtime_latency group's business *)
+  let sh = Runtime.Rshared.make ~latency:false ~n_slots:16 ~n_fields:1 ~n_muts:0 () in
   Atomic.set sh.Runtime.Rshared.phase Runtime.Rshared.Mark;
   let marked = Runtime.Rheap.alloc sh.Runtime.Rshared.heap ~mark:(Atomic.get sh.Runtime.Rshared.f_m) in
   let white =
@@ -64,12 +67,12 @@ let fig5_tests () =
 (* Fig. 6: store with/without barriers (the mutator-throughput argument for
    the double-checked barrier). *)
 let fig6_tests () =
-  let sh = Runtime.Rshared.make ~n_slots:16 ~n_fields:1 ~n_muts:1 () in
+  let sh = Runtime.Rshared.make ~latency:false ~n_slots:16 ~n_fields:1 ~n_muts:1 () in
   let a = Runtime.Rheap.alloc sh.Runtime.Rshared.heap ~mark:(Atomic.get sh.Runtime.Rshared.f_m) in
   let b = Runtime.Rheap.alloc sh.Runtime.Rshared.heap ~mark:(Atomic.get sh.Runtime.Rshared.f_m) in
   let with_b = Runtime.Rmutator.make sh 0 ~roots:[ a; b ] in
   let without_b = Runtime.Rmutator.make ~barriers:false sh 0 ~roots:[ a; b ] in
-  let sh_marking = Runtime.Rshared.make ~n_slots:16 ~n_fields:1 ~n_muts:1 () in
+  let sh_marking = Runtime.Rshared.make ~latency:false ~n_slots:16 ~n_fields:1 ~n_muts:1 () in
   Atomic.set sh_marking.Runtime.Rshared.phase Runtime.Rshared.Mark;
   let a' = Runtime.Rheap.alloc sh_marking.Runtime.Rshared.heap ~mark:(Atomic.get sh_marking.Runtime.Rshared.f_m) in
   let b' = Runtime.Rheap.alloc sh_marking.Runtime.Rshared.heap ~mark:(Atomic.get sh_marking.Runtime.Rshared.f_m) in
@@ -408,6 +411,109 @@ let checker_store () =
       ("rows", Obs.Json.List rows);
     ]
 
+(* -- runtime-latency: the concrete runtime's latency observatory ------------
+
+   Short harness runs per mutator-domain count, reporting allocation
+   throughput and the HDR handshake/pause percentiles the latency
+   section (Harness.stats.latency) carries, plus a single-threaded
+   barrier-overhead measurement.  Rows are keyed by the *requested*
+   mutator count (1/2/4/8) so the series stays diffable across hosts;
+   each row records the count actually run, clamped to
+   domains_available, so cross-host diffs are honest about what was
+   measured.  benchdiff gates alloc_per_sec/ops_per_sec (higher better)
+   and the hs/pause percentiles (lower better, with a widened noise
+   allowance on the tails). *)
+
+let runtime_latency_muts = [ 1; 2; 4; 8 ]
+
+let runtime_latency_duration = 0.6
+
+(* (store-with-barriers - store-without) / store-without on the idle
+   phase, single-threaded and with the latency instrumentation off, so
+   the number is the barrier's cost alone — not clock reads, not
+   scheduling noise from the harness's other domains. *)
+let barrier_overhead_pct () =
+  let sh = Runtime.Rshared.make ~latency:false ~n_slots:16 ~n_fields:1 ~n_muts:1 () in
+  let a = Runtime.Rheap.alloc sh.Runtime.Rshared.heap ~mark:(Atomic.get sh.Runtime.Rshared.f_m) in
+  let b = Runtime.Rheap.alloc sh.Runtime.Rshared.heap ~mark:(Atomic.get sh.Runtime.Rshared.f_m) in
+  let with_b = Runtime.Rmutator.make sh 0 ~roots:[ a; b ] in
+  let without_b = Runtime.Rmutator.make ~barriers:false sh 0 ~roots:[ a; b ] in
+  let time m =
+    for _ = 1 to 100_000 do
+      Runtime.Rmutator.store m a 0 b
+    done;
+    let t0 = Obs.Clock.monotonic_ns () in
+    for _ = 1 to 1_000_000 do
+      Runtime.Rmutator.store m a 0 b
+    done;
+    Obs.Clock.monotonic_ns () - t0
+  in
+  let without_ns = time without_b in
+  let with_ns = time with_b in
+  if without_ns > 0 then 100. *. float_of_int (with_ns - without_ns) /. float_of_int without_ns
+  else 0.
+
+let runtime_latency () =
+  let domains_available = Domain.recommended_domain_count () in
+  let overhead = barrier_overhead_pct () in
+  Fmt.pr "  %-44s %11.1f %%@." "runtime-barrier-overhead (idle stores)" overhead;
+  let pct h k =
+    match Option.bind (Obs.Json.member k h) Obs.Json.to_int with Some v -> v | None -> 0
+  in
+  let rows =
+    List.map
+      (fun requested ->
+        let actual = max 1 (min requested domains_available) in
+        let s =
+          Runtime.Harness.run ~n_muts:actual ~n_slots:512 ~n_fields:2
+            ~duration:runtime_latency_duration ()
+        in
+        let lat = s.Runtime.Harness.latency in
+        let sect k = Option.value ~default:Obs.Json.Null (Obs.Json.member k lat) in
+        let hs = sect "hs_round" and pause = sect "pause" in
+        let alloc_rate = float_of_int s.Runtime.Harness.allocs /. runtime_latency_duration in
+        let ops_rate = float_of_int s.Runtime.Harness.ops /. runtime_latency_duration in
+        Fmt.pr
+          "  %-44s %10.0f allocs/s %10.0f ops/s  hs p50/p99/p99.9/max %.2f/%.2f/%.2f/%.2f \
+           ms  stalls %d@."
+          (Fmt.str "runtime-latency-muts-%d (ran %d)" requested actual)
+          alloc_rate ops_rate
+          (float_of_int (pct hs "p50_ns") /. 1e6)
+          (float_of_int (pct hs "p99_ns") /. 1e6)
+          (float_of_int (pct hs "p999_ns") /. 1e6)
+          (float_of_int (pct hs "max_ns") /. 1e6)
+          s.Runtime.Harness.alloc_stalls;
+        (match s.Runtime.Harness.violation with
+        | None -> ()
+        | Some m -> Fmt.pr "  WARNING: runtime-latency muts=%d run was UNSAFE: %s@." requested m);
+        Obs.Json.Obj
+          [
+            ("n_muts_requested", Obs.Json.Int requested);
+            ("n_muts", Obs.Json.Int actual);
+            ("duration_s", Obs.Json.Float runtime_latency_duration);
+            ("cycles", Obs.Json.Int s.Runtime.Harness.cycles);
+            ("ops", Obs.Json.Int s.Runtime.Harness.ops);
+            ("allocs", Obs.Json.Int s.Runtime.Harness.allocs);
+            ("alloc_per_sec", Obs.Json.Float alloc_rate);
+            ("ops_per_sec", Obs.Json.Float ops_rate);
+            ("alloc_stalls", Obs.Json.Int s.Runtime.Harness.alloc_stalls);
+            ("hs", hs);
+            ("hs_by_type", sect "hs_round_by_type");
+            ("pause", pause);
+            ("mark", sect "mark");
+            ("sweep", sect "sweep");
+            ("barrier_slow", sect "barrier_slow");
+            ("barrier_fast_fraction", sect "barrier_fast_fraction");
+          ])
+      runtime_latency_muts
+  in
+  Obs.Json.Obj
+    [
+      ("domains_available", Obs.Json.Int domains_available);
+      ("barrier_overhead_pct", Obs.Json.Float overhead);
+      ("rows", Obs.Json.List rows);
+    ]
+
 (* -- checker-reduce: state-space reduction ----------------------------------
 
    Distinct states and wall-clock for each reduction mode on closing
@@ -509,14 +615,14 @@ let campaign_bench () =
    blocks.  Written next to the text output so perf PRs can diff
    BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
    revisions can write side by side. *)
-let bench_report_file = ref "BENCH_8.json"
+let bench_report_file = ref "BENCH_9.json"
 let force_gap = ref false
 let against_file : string option ref = ref None
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_8.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_9.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
@@ -561,7 +667,8 @@ let check_series () =
         (if List.length missing = 1 then "" else "s")
         (String.concat ", " (List.map (Fmt.str "BENCH_%d.json") missing))
 
-let write_report groups checker checker_par checker_store checker_reduce campaign =
+let write_report groups checker checker_par checker_store runtime_latency checker_reduce
+    campaign =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -605,6 +712,7 @@ let write_report groups checker checker_par checker_store checker_reduce campaig
         ("checker", checker);
         ("checker_par", checker_par);
         ("checker_store", checker_store);
+        ("runtime_latency", runtime_latency);
         ("checker_reduce", checker_reduce);
         ("campaign", campaign);
       ]
@@ -647,11 +755,20 @@ let () =
       (if Domain.recommended_domain_count () = 1 then "" else "s");
   Fmt.pr "=== checker-store (states per GB under a memory budget) ===@.";
   let checker_store = checker_store () in
+  Fmt.pr "=== runtime-latency (allocation throughput, handshake/pause percentiles) ===@.";
+  if Domain.recommended_domain_count () < 4 then
+    Fmt.pr
+      "  NOTE: only %d domain%s available on this host — the runtime-latency rows clamp \
+       their mutator counts to it (each row records the n_muts actually run), so the \
+       1/2/4/8-mutator spread needs a >=4-core host to be meaningful@."
+      (Domain.recommended_domain_count ())
+      (if Domain.recommended_domain_count () = 1 then "" else "s");
+  let runtime_latency = runtime_latency () in
   Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
   let checker_reduce = checker_reduce () in
   Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";
   let campaign = campaign_bench () in
-  write_report groups checker checker_par checker_store checker_reduce campaign;
+  write_report groups checker checker_par checker_store runtime_latency checker_reduce campaign;
   (match !against_file with
   | None -> ()
   | Some old_path -> (

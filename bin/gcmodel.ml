@@ -938,6 +938,78 @@ let doc_variants_cmd =
           stdout.  CI diffs the committed file against this output.")
     Term.(const run $ const ())
 
+(* -- concrete runtime stress harness (lib/runtime) --------------------------- *)
+
+let harness_cmd =
+  let muts = Arg.(value & opt int 2 & info [ "muts" ] ~doc:"Mutator domains.") in
+  let slots = Arg.(value & opt int 256 & info [ "slots" ] ~doc:"Heap slots.") in
+  let fields = Arg.(value & opt int 2 & info [ "fields" ] ~doc:"Fields per object.") in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Wall-clock seconds to run.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("uniform", Runtime.Rmutator.Uniform); ("lists", Runtime.Rmutator.Lists) ])
+          Runtime.Rmutator.Uniform
+      & info [ "workload" ] ~docv:"KIND" ~doc:"Mutator workload: $(b,uniform) or $(b,lists).")
+  in
+  let no_barriers =
+    Arg.(
+      value & flag
+      & info [ "no-barriers" ]
+          ~doc:"Ablate the write barriers (the lists workload then faults within cycles).")
+  in
+  let trace_pause =
+    Arg.(
+      value & opt float 0.
+      & info [ "trace-pause" ]
+          ~doc:"Seconds the collector sleeps between greys (widens the race window).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let no_latency =
+    Arg.(
+      value & flag
+      & info [ "no-latency" ] ~doc:"Disable the HDR latency instrumentation (lib/obs/latency).")
+  in
+  let co_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "co-interval" ] ~docv:"NS"
+          ~doc:
+            "Expected handshake-round interval in nanoseconds; when positive, the round \
+             history gets coordinated-omission back-fill (a stalled round also records the \
+             rounds it swallowed).")
+  in
+  let run muts slots fields duration workload no_barriers trace_pause seed no_latency
+      co_interval trace_out obs =
+    let tracer = Obs.Tracing.resolve ?out:trace_out ~domains:(muts + 1) () in
+    let s =
+      Runtime.Harness.run ~n_muts:muts ~n_slots:slots ~n_fields:fields ~duration
+        ~barriers:(not no_barriers) ~seed ~workload ~trace_pause ~obs ~tracer
+        ~latency:(not no_latency) ~co_interval_ns:co_interval ()
+    in
+    Fmt.pr "%a@." Runtime.Harness.pp_stats s;
+    close_trace tracer trace_out;
+    Obs.Reporter.close obs;
+    if s.Runtime.Harness.violation <> None then exit 1
+  in
+  Cmd.v
+    (Cmd.info "harness"
+       ~doc:
+         "Stress the concrete concurrent collector: one collector domain cycling against \
+          $(b,--muts) mutator domains for $(b,--duration) seconds, with on-line root \
+          validation.  With $(b,--obs), emits per-cycle $(b,gc-cycle) records, periodic \
+          $(b,runtime-heartbeat) records with live HDR latency percentiles (handshake \
+          rounds and per-mutator acks, gc pauses, allocation, stalls), and a final \
+          $(b,harness) record carrying the structured latency section; $(b,--obs=live) \
+          renders the runtime dashboard panel.  With $(b,--trace-out), lane 0 carries the \
+          collector's handshake/mark/sweep/gc-cycle spans and lanes 1..n the mutators'.  \
+          Exits 1 on a safety violation.")
+    Term.(
+      const run $ muts $ slots $ fields $ duration $ workload $ no_barriers $ trace_pause
+      $ seed $ no_latency $ co_interval $ trace_out_term $ obs_term)
+
 let () =
   let info = Cmd.info "gcmodel" ~doc:"Executable model of the verified on-the-fly GC for x86-TSO." in
   exit
@@ -945,7 +1017,7 @@ let () =
        (Cmd.group info
           [
             explore_cmd; resume_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd;
-            benchdiff_cmd;
+            benchdiff_cmd; harness_cmd;
             variants_cmd; shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd;
             doc_variants_cmd;
           ]))

@@ -119,7 +119,53 @@ let metrics_of_report report =
               [ ("states_per_gb", "states_per_gb"); ("states_per_sec", "states_per_sec") ])
         (lmember "rows" p)
   in
-  groups @ checker @ par @ reduce @ store
+  let runtime_latency =
+    match Json.member "runtime_latency" report with
+    | None -> []
+    | Some p ->
+      (* rows are keyed by the *requested* mutator count: on a small host
+         every row clamps to the same actual count, and keying by actual
+         would collide them (each row still records the honest n_muts) *)
+      let rows =
+        List.concat_map
+          (fun row ->
+            match Option.bind (Json.member "n_muts_requested" row) Json.to_int with
+            | None -> []
+            | Some muts ->
+              let flat =
+                List.filter_map
+                  (fun (suffix, k, dir) ->
+                    Option.map
+                      (fun v -> (Fmt.str "runtime_latency muts=%d %s" muts suffix, dir, v))
+                      (fmember k row))
+                  [
+                    ("alloc_per_sec", "alloc_per_sec", Higher_better);
+                    ("ops_per_sec", "ops_per_sec", Higher_better);
+                  ]
+              in
+              let hist key =
+                match Json.member key row with
+                | None -> []
+                | Some h ->
+                  List.filter_map
+                    (fun k ->
+                      Option.map
+                        (fun v ->
+                          (Fmt.str "runtime_latency muts=%d %s %s" muts key k, Lower_better, v))
+                        (fmember k h))
+                    [ "p50_ns"; "p99_ns"; "p999_ns"; "max_ns" ]
+              in
+              flat @ hist "hs" @ hist "pause")
+          (lmember "rows" p)
+      in
+      let overhead =
+        match fmember "barrier_overhead_pct" p with
+        | Some v -> [ ("runtime_latency barrier_overhead_pct", Lower_better, v) ]
+        | None -> []
+      in
+      overhead @ rows
+  in
+  groups @ checker @ par @ reduce @ store @ runtime_latency
 
 (* Top-level report keys benchcmp understands: metric sections it
    flattens, sections it deliberately skips, and run metadata.  Anything
@@ -130,6 +176,7 @@ let known_sections =
   [
     (* metric sections *)
     "groups"; "checker"; "checker_par"; "checker_reduce"; "checker_store";
+    "runtime_latency";
     (* deliberately excluded: states-to-kill moves with search order *)
     "campaign";
     (* metadata *)
@@ -146,6 +193,17 @@ let unknown_sections report =
   | _ -> []
 
 (* -- comparison --------------------------------------------------------------- *)
+
+(* Latency tails are the right thing to report but the wrong thing to
+   gate at the base threshold: a p99.9 or a max is one scheduling hiccup
+   wide, so those metrics get a 3x noise allowance before they count as
+   regressions.  Direction stays strict — a lower tail is still an
+   improvement. *)
+let noise_mult key =
+  if
+    String.ends_with ~suffix:"p999_ns" key || String.ends_with ~suffix:"max_ns" key
+  then 3.
+  else 1.
 
 let classify ~threshold dir v_old v_new =
   let change_pct = if v_old = 0. then 0. else (v_new -. v_old) /. v_old *. 100. in
@@ -198,7 +256,9 @@ let compare_reports ?(threshold = default_threshold) ~old_ new_ =
                | None -> only_new := k :: !only_new
                | Some (_, v_old) ->
                  Hashtbl.remove tbl k;
-                 let change_pct, cls = classify ~threshold dir v_old v_new in
+                 let change_pct, cls =
+                   classify ~threshold:(threshold *. noise_mult k) dir v_old v_new
+                 in
                  let d = { key = k; dir; v_old; v_new; change_pct } in
                  (match cls with
                  | `Regression -> regressions := d :: !regressions

@@ -22,10 +22,28 @@ type t = {
   mutable segments : int;  (* on-disk segment files; < 0 = unknown *)
   mutable spilled_states : int;  (* states only on disk; < 0 = unknown *)
   mutable verdict : string option;
+  (* runtime panel (fed by runtime-heartbeat records) *)
+  mutable rt_on : bool;
+  mutable rt_cycles : int;
+  mutable rt_live : int;
+  mutable rt_alloc_rate : float;
+  mutable rt_stalls : int;
+  mutable rt_pause_p50 : int;  (* ns; < 0 = unknown *)
+  mutable rt_pause_p99 : int;
+  mutable rt_pause_max : int;
+  mutable rt_hs_p50 : int;
+  mutable rt_hs_p99 : int;
+  mutable rt_hs_p999 : int;
+  mutable rt_hs_max : int;
+  mutable rt_ack_hist : float array list;
+    (* newest-first heartbeat history of per-mutator ack p99s (ns);
+       rendered as one sparkline per mutator *)
   mutable drawn : int;  (* lines on screen from the previous draw *)
   mutable last_draw_ns : int;
   mutable finished : bool;
 }
+
+let rt_hist_len = 24
 
 let detect_mode () =
   let term = match Sys.getenv_opt "TERM" with Some t -> t | None -> "" in
@@ -55,6 +73,19 @@ let create ?mode ?(out = fun s -> output_string stderr s; flush stderr) () =
     segments = -1;
     spilled_states = -1;
     verdict = None;
+    rt_on = false;
+    rt_cycles = 0;
+    rt_live = 0;
+    rt_alloc_rate = 0.;
+    rt_stalls = 0;
+    rt_pause_p50 = -1;
+    rt_pause_p99 = -1;
+    rt_pause_max = -1;
+    rt_hs_p50 = -1;
+    rt_hs_p99 = -1;
+    rt_hs_p999 = -1;
+    rt_hs_max = -1;
+    rt_ack_hist = [];
     drawn = 0;
     last_draw_ns = 0;
     finished = false;
@@ -77,6 +108,13 @@ let human_bytes n =
   else if n >= 1 lsl 20 then Fmt.str "%.1fM" (float_of_int n /. float_of_int (1 lsl 20))
   else if n >= 1 lsl 10 then Fmt.str "%.1fk" (float_of_int n /. float_of_int (1 lsl 10))
   else Fmt.str "%dB" n
+
+let human_ns n =
+  if n < 0 then "?"
+  else if n < 1_000 then Fmt.str "%dns" n
+  else if n < 1_000_000 then Fmt.str "%.1fus" (float_of_int n /. 1e3)
+  else if n < 1_000_000_000 then Fmt.str "%.1fms" (float_of_int n /. 1e6)
+  else Fmt.str "%.2fs" (float_of_int n /. 1e9)
 
 let heat_glyphs = " .:-=+*#%@"
 
@@ -141,7 +179,60 @@ let panel_lines t =
       ]
     else []
   in
-  head :: (doms @ shards @ store)
+  (* runtime panel: pause bar (p99 against worst observed), handshake
+     percentiles, and one ack sparkline per mutator over the heartbeat
+     history *)
+  let runtime =
+    if not t.rt_on then []
+    else begin
+      let rt_head =
+        Fmt.str "runtime  +%.1fs  cycles %s  live %s  alloc %.0f/s  stalls %d%s" elapsed
+          (human t.rt_cycles) (human t.rt_live) t.rt_alloc_rate t.rt_stalls
+          (if t.checker = "" then
+             match t.verdict with None -> "" | Some v -> "  " ^ v
+           else "")
+      in
+      let pause =
+        if t.rt_pause_p99 < 0 then []
+        else
+          [
+            Fmt.str "  pause  [%s]  p50 %s  p99 %s  max %s"
+              (bar 20
+                 (if t.rt_pause_max > 0 then
+                    float_of_int t.rt_pause_p99 /. float_of_int t.rt_pause_max
+                  else 0.))
+              (human_ns t.rt_pause_p50) (human_ns t.rt_pause_p99) (human_ns t.rt_pause_max);
+          ]
+      in
+      let hs =
+        if t.rt_hs_p50 < 0 then []
+        else
+          [
+            Fmt.str "  hs     p50 %s  p99 %s  p99.9 %s  max %s" (human_ns t.rt_hs_p50)
+              (human_ns t.rt_hs_p99) (human_ns t.rt_hs_p999) (human_ns t.rt_hs_max);
+          ]
+      in
+      let n_muts = match t.rt_ack_hist with [] -> 0 | h :: _ -> Array.length h in
+      let acks =
+        List.init n_muts (fun m ->
+            let series =
+              List.rev_map
+                (fun a -> if m < Array.length a then a.(m) else 0.)
+                t.rt_ack_hist
+            in
+            let worst = List.fold_left Float.max 1. series in
+            let spark =
+              heat_string (Array.of_list (List.map (fun v -> v /. worst) series))
+            in
+            let last = match List.rev series with v :: _ -> v | [] -> 0. in
+            Fmt.str "  mut %d  ack [%s]  p99 %s" m spark (human_ns (int_of_float last)))
+      in
+      (rt_head :: pause) @ hs @ acks
+    end
+  in
+  (* a pure runtime run has no checker telemetry: show only its panel *)
+  if t.rt_on && t.checker = "" && t.progress = 0 then runtime
+  else head :: (doms @ shards @ store @ runtime)
 
 let draw ?(force = false) t =
   if not t.finished then begin
@@ -246,8 +337,43 @@ let update t event fields =
           (match List.assoc_opt "violation" fields with
           | Some (Json.String v) -> "VIOLATION: " ^ v
           | _ -> "ok")
+    | "runtime-heartbeat" ->
+      t.rt_on <- true;
+      Option.iter (fun c -> t.rt_cycles <- c) (ifield fields "cycles");
+      Option.iter (fun l -> t.rt_live <- l) (ifield fields "live");
+      Option.iter (fun r -> t.rt_alloc_rate <- r) (ffield fields "alloc_per_sec");
+      Option.iter (fun s -> t.rt_stalls <- s) (ifield fields "alloc_stalls");
+      let sub k = match List.assoc_opt k fields with Some (Json.Obj o) -> o | _ -> [] in
+      let pause = sub "pause" and hs = sub "hs" in
+      Option.iter (fun v -> t.rt_pause_p50 <- v) (ifield pause "p50_ns");
+      Option.iter (fun v -> t.rt_pause_p99 <- v) (ifield pause "p99_ns");
+      Option.iter (fun v -> t.rt_pause_max <- v) (ifield pause "max_ns");
+      Option.iter (fun v -> t.rt_hs_p50 <- v) (ifield hs "p50_ns");
+      Option.iter (fun v -> t.rt_hs_p99 <- v) (ifield hs "p99_ns");
+      Option.iter (fun v -> t.rt_hs_p999 <- v) (ifield hs "p999_ns");
+      Option.iter (fun v -> t.rt_hs_max <- v) (ifield hs "max_ns");
+      (match List.assoc_opt "hs_ack_p99_ns" fields with
+      | Some (Json.List l) ->
+        let acks =
+          Array.of_list
+            (List.map (fun j -> match Json.to_float j with Some f -> f | None -> 0.) l)
+        in
+        t.rt_ack_hist <-
+          acks :: (if List.length t.rt_ack_hist >= rt_hist_len then
+                     List.filteri (fun i _ -> i < rt_hist_len - 1) t.rt_ack_hist
+                   else t.rt_ack_hist)
+      | _ -> ())
+    | "harness" ->
+      t.rt_on <- true;
+      Option.iter (fun c -> t.rt_cycles <- c) (ifield fields "cycles");
+      Option.iter (fun l -> t.rt_live <- l) (ifield fields "live_at_end");
+      t.verdict <-
+        Some
+          (match List.assoc_opt "violation" fields with
+          | Some (Json.String v) -> "UNSAFE: " ^ v
+          | _ -> "SAFE")
     | _ -> ());
-    draw ~force:(event = "outcome") t
+    draw ~force:(event = "outcome" || event = "harness") t
   end
 
 let finish t =

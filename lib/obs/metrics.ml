@@ -172,15 +172,19 @@ let hmax h =
   else fold_shards h (fun x s -> Float.max x s.hs_max) neg_infinity
 
 let hsnapshot h =
+  (* An empty histogram has nan percentiles; emit null rather than rely
+     on every sink degrading non-finite floats the same way. *)
+  let n = observations h in
+  let stat v = if n = 0 then Json.Null else Json.Float v in
   Json.Obj
     [
-      ("count", Json.Int (observations h));
-      ("mean", Json.Float (mean h));
-      ("p50", Json.Float (percentile h 50.));
-      ("p90", Json.Float (percentile h 90.));
-      ("p99", Json.Float (percentile h 99.));
-      ("min", Json.Float (hmin h));
-      ("max", Json.Float (hmax h));
+      ("count", Json.Int n);
+      ("mean", stat (mean h));
+      ("p50", stat (percentile h 50.));
+      ("p90", stat (percentile h 90.));
+      ("p99", stat (percentile h 99.));
+      ("min", stat (hmin h));
+      ("max", stat (hmax h));
     ]
 
 (* -- dump -------------------------------------------------------------------- *)

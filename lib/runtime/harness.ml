@@ -15,13 +15,19 @@ type stats = {
   barrier_fast_path : int;
   hs_rounds : int;
   live_at_end : int;
+  alloc_stalls : int;
+  latency : Obs.Json.t;
+    (* the structured latency section (Rshared.latency_json): handshake
+       round/ack, barrier slow path, allocation and stall, and per-phase
+       cycle histogram snapshots *)
   violation : string option;
 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "cycles=%d ops=%d allocs=%d frees=%d cas=%d/%d fastpath=%d hs=%d live=%d %s" s.cycles s.ops
-    s.allocs s.frees s.cas_wins s.cas_attempts s.barrier_fast_path s.hs_rounds s.live_at_end
+    "cycles=%d ops=%d allocs=%d frees=%d cas=%d/%d fastpath=%d hs=%d live=%d stalls=%d %s"
+    s.cycles s.ops s.allocs s.frees s.cas_wins s.cas_attempts s.barrier_fast_path s.hs_rounds
+    s.live_at_end s.alloc_stalls
     (match s.violation with None -> "SAFE" | Some m -> "UNSAFE: " ^ m)
 
 (* Reachability over the concrete heap (single-threaded, run only when the
@@ -55,8 +61,12 @@ let final_validation heap mutators =
 
 let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barriers = true)
     ?(seed = 42) ?(workload = Rmutator.Uniform) ?(trace_pause = 0.)
-    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) () =
-  let sh = Rshared.make ~trace_pause ~obs ~tracer ~n_slots ~n_fields ~n_muts () in
+    ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(latency = true)
+    ?(co_interval_ns = 0) () =
+  let sh =
+    Rshared.make ~trace_pause ~obs ~tracer ~latency ~co_interval_ns ~n_slots ~n_fields
+      ~n_muts ()
+  in
   (* lane 0 is the collector (handshake/mark/sweep spans, emitted by
      Rcollector); lanes 1..n_muts carry one whole-lifetime span per
      mutator domain *)
@@ -120,6 +130,8 @@ let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barri
       barrier_fast_path = Atomic.get sh.Rshared.barrier_fast_path;
       hs_rounds = Obs.Metrics.acount sh.Rshared.hs_rounds;
       live_at_end = Rheap.live_count sh.Rshared.heap;
+      alloc_stalls = Atomic.get sh.Rshared.lat.Rshared.alloc_stalls;
+      latency = Rshared.latency_json sh;
       violation;
     }
   in
@@ -138,6 +150,7 @@ let run ?(n_muts = 2) ?(n_slots = 256) ?(n_fields = 2) ?(duration = 0.5) ?(barri
         ("barrier_fast_path", Obs.Json.Int stats.barrier_fast_path);
         ("hs_rounds", Obs.Json.Int stats.hs_rounds);
         ("hs_latency", Obs.Metrics.hsnapshot sh.Rshared.hs_latency);
+        ("latency", stats.latency);
         ("live_at_end", Obs.Json.Int stats.live_at_end);
         ( "violation",
           match stats.violation with None -> Obs.Json.Null | Some m -> Obs.Json.String m );

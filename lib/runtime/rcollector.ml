@@ -17,7 +17,13 @@ let tracing sh = Obs.Tracing.enabled sh.tracer && Obs.Tracing.lanes sh.tracer >=
 
 let handshake sh typ =
   let t0_ns = Obs.Clock.monotonic_ns () in
-  Array.iter (fun slot -> Atomic.set slot typ) sh.hs_req;
+  Array.iteri
+    (fun i slot ->
+      (* stamp before the request is visible, so a mutator that sees the
+         slot set is guaranteed to read this round's timestamp *)
+      Atomic.set sh.lat.hs_req_ns.(i) t0_ns;
+      Atomic.set slot typ)
+    sh.hs_req;
   Array.iter
     (fun slot ->
       while Atomic.get slot <> Hs_none do
@@ -28,13 +34,27 @@ let handshake sh typ =
      mutator acked, so this is the collector-observed stall.  Single
      writer (the collector), so a plain histogram suffices. *)
   let t1_ns = Obs.Clock.monotonic_ns () in
-  let dt = float_of_int (t1_ns - t0_ns) *. 1e-9 in
+  let dt_ns = t1_ns - t0_ns in
+  let dt = float_of_int dt_ns *. 1e-9 in
   if tracing sh then
     Obs.Tracing.span_between sh.tracer ~dom:0
       ~name:(Obs.Tracing.intern sh.tracer (hs_span_name typ))
       ~start_ns:t0_ns ~stop_ns:t1_ns;
   Obs.Metrics.aincr sh.hs_rounds;
   Obs.Metrics.observe sh.hs_latency dt;
+  if sh.lat.lat_on then begin
+    (* whole-round history gets the coordinated-omission treatment when
+       configured (rounds are the runtime's periodic heartbeat); the
+       per-type split stays raw *)
+    Obs.Latency.record_corrected sh.lat.hs_round
+      ~expected_interval_ns:sh.lat.co_interval_ns dt_ns;
+    Obs.Latency.record
+      (match typ with
+      | Hs_get_roots -> sh.lat.hs_round_roots
+      | Hs_get_work -> sh.lat.hs_round_work
+      | Hs_nop | Hs_none -> sh.lat.hs_round_nop)
+      dt_ns
+  end;
   dt
 
 (* Scan greys depth-first: marking a child greys it onto the same stack;
@@ -60,8 +80,10 @@ let cycle sh =
   let fast0 = Atomic.get sh.barrier_fast_path in
   let frees0 = Atomic.get sh.heap.Rheap.frees in
   let hs_latencies = ref [] in
+  let hs_ns = ref 0 in
   let handshake sh typ =
     let dt = handshake sh typ in
+    hs_ns := !hs_ns + int_of_float (dt *. 1e9);
     if observing then hs_latencies := dt :: !hs_latencies
   in
   (* lines 3-4: everyone sees Idle; the heap is black *)
@@ -100,6 +122,12 @@ let cycle sh =
   Atomic.set sh.phase Idle;
   Atomic.incr sh.cycles;
   let t_end_ns = Obs.Clock.monotonic_ns () in
+  if sh.lat.lat_on then begin
+    Obs.Latency.record sh.lat.pause (t_end_ns - t_cycle_ns);
+    Obs.Latency.record sh.lat.mark_phase (t_sweep_ns - t_mark_ns);
+    Obs.Latency.record sh.lat.sweep_phase (t_end_ns - t_sweep_ns);
+    Obs.Latency.record sh.lat.hs_in_cycle !hs_ns
+  end;
   if tr_on then begin
     Obs.Tracing.span_between sh.tracer ~dom:0
       ~name:(Obs.Tracing.intern sh.tracer "mark")
@@ -126,6 +154,9 @@ let cycle sh =
       [
         ("cycle", Obs.Json.Int (Atomic.get sh.cycles));
         ("elapsed_s", Obs.Json.Float (float_of_int (t_end_ns - t_cycle_ns) *. 1e-9));
+        ("mark_s", Obs.Json.Float (float_of_int (t_sweep_ns - t_mark_ns) *. 1e-9));
+        ("sweep_s", Obs.Json.Float (float_of_int (t_end_ns - t_sweep_ns) *. 1e-9));
+        ("hs_s", Obs.Json.Float (float_of_int !hs_ns *. 1e-9));
         ( "hs_latency_s",
           Obs.Json.List (List.rev_map (fun dt -> Obs.Json.Float dt) !hs_latencies) );
         ("marks", Obs.Json.Int cas_wins);
@@ -140,9 +171,53 @@ let cycle sh =
       ]
   end
 
+(* One live summary of the runtime's health: counters plus percentile
+   snapshots of the latency histograms.  Emitted between cycles, so the
+   percentiles a monitoring pipeline reads are at most one cycle stale. *)
+let emit_heartbeat sh ~dt_ns ~allocs0 =
+  let allocs = Atomic.get sh.heap.Rheap.allocs in
+  let rate =
+    if dt_ns > 0 then float_of_int (allocs - allocs0) /. (float_of_int dt_ns *. 1e-9)
+    else 0.
+  in
+  Obs.Reporter.emit sh.obs "runtime-heartbeat"
+    [
+      ("cycles", Obs.Json.Int (Atomic.get sh.cycles));
+      ("live", Obs.Json.Int (Rheap.live_count sh.heap));
+      ("allocs", Obs.Json.Int allocs);
+      ("frees", Obs.Json.Int (Atomic.get sh.heap.Rheap.frees));
+      ("alloc_per_sec", Obs.Json.Float rate);
+      ("alloc_stalls", Obs.Json.Int (Atomic.get sh.lat.alloc_stalls));
+      ("hs", Obs.Latency.to_json sh.lat.hs_round);
+      ( "hs_ack_p99_ns",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (fun h ->
+                  match Obs.Latency.percentile h 99. with
+                  | Some v -> Obs.Json.Int v
+                  | None -> Obs.Json.Null)
+                sh.lat.hs_ack)) );
+      ("pause", Obs.Latency.to_json sh.lat.pause);
+      ("barrier_fast_path", Obs.Json.Int (Atomic.get sh.barrier_fast_path));
+      ("cas_attempts", Obs.Json.Int (Atomic.get sh.cas_attempts));
+    ]
+
 let run sh =
+  let observing = Obs.Reporter.enabled sh.obs in
+  let last_hb = ref (Obs.Clock.monotonic_ns ()) in
+  let last_allocs = ref (Atomic.get sh.heap.Rheap.allocs) in
   while not (Atomic.get sh.stop) do
-    cycle sh
+    cycle sh;
+    if observing then begin
+      let now = Obs.Clock.monotonic_ns () in
+      let dt_ns = now - !last_hb in
+      if dt_ns >= sh.hb_every_ns then begin
+        emit_heartbeat sh ~dt_ns ~allocs0:!last_allocs;
+        last_hb := now;
+        last_allocs := Atomic.get sh.heap.Rheap.allocs
+      end
+    end
   done;
   (* release any mutator parked on a handshake we will never complete *)
   Array.iter (fun slot -> Atomic.set slot Hs_none) sh.hs_req

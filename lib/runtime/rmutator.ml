@@ -24,6 +24,10 @@ type t = {
   barriers : bool;  (* ablation switch for the barrier-overhead bench *)
   mutable ops : int;  (* statistics *)
   mutable saw_get_roots : bool;  (* set when poll services a get-roots round *)
+  mutable stall_since_ns : int;
+    (* start of the current free-list-empty episode; < 0 = not stalled.
+       Set on the first failed alloc of an episode, cleared (recording
+       the episode's duration) on the next success. *)
 }
 
 let make ?(barriers = true) sh id ~roots =
@@ -35,6 +39,7 @@ let make ?(barriers = true) sh id ~roots =
     barriers;
     ops = 0;
     saw_get_roots = false;
+    stall_since_ns = -1;
   }
 
 let unsafe t fmt =
@@ -58,23 +63,31 @@ let adopt t r =
   if r <> Rheap.null && not (List.mem_assoc r t.roots) then
     t.roots <- (r, Rheap.epoch t.sh.heap r) :: t.roots
 
-(* The mutator's side of the soft handshakes (Fig. 2's at-m blocks). *)
+(* The mutator's side of the soft handshakes (Fig. 2's at-m blocks).
+   The ack latency — collector's request publish to this mutator's slot
+   clear — is what a mutator actually contributes to a ragged round, so
+   it is recorded here, per mutator, against the timestamp the collector
+   stamped alongside the request. *)
 let poll t =
   match Atomic.get t.sh.hs_req.(t.id) with
   | Hs_none -> ()
-  | Hs_nop -> Atomic.set t.sh.hs_req.(t.id) Hs_none
-  | Hs_get_roots ->
-    (* lines 17-20: mark own roots into the private work-list, transfer *)
-    List.iter (fun (r, _) -> t.wm <- mark t.sh r t.wm) t.roots;
-    transfer t.sh t.wm;
-    t.wm <- [];
-    t.saw_get_roots <- true;
-    Atomic.set t.sh.hs_req.(t.id) Hs_none
-  | Hs_get_work ->
-    (* lines 32-34 *)
-    transfer t.sh t.wm;
-    t.wm <- [];
-    Atomic.set t.sh.hs_req.(t.id) Hs_none
+  | req ->
+    (match req with
+    | Hs_none | Hs_nop -> ()
+    | Hs_get_roots ->
+      (* lines 17-20: mark own roots into the private work-list, transfer *)
+      List.iter (fun (r, _) -> t.wm <- mark t.sh r t.wm) t.roots;
+      transfer t.sh t.wm;
+      t.wm <- [];
+      t.saw_get_roots <- true
+    | Hs_get_work ->
+      (* lines 32-34 *)
+      transfer t.sh t.wm;
+      t.wm <- []);
+    Atomic.set t.sh.hs_req.(t.id) Hs_none;
+    if t.sh.lat.lat_on then
+      Obs.Latency.record t.sh.lat.hs_ack.(t.id)
+        (Obs.Clock.monotonic_ns () - Atomic.get t.sh.lat.hs_req_ns.(t.id))
 
 (* Load (Fig. 6): read a field of a rooted object and adopt the result. *)
 let load t src f =
@@ -93,9 +106,34 @@ let store t src f dst =
   Rheap.set_field t.sh.heap src f dst;
   t.ops <- t.ops + 1
 
-(* Alloc (Fig. 6): allocate with the current f_A sense and adopt. *)
+(* Alloc (Fig. 6): allocate with the current f_A sense and adopt.  With
+   latency on, each successful allocation is timed, and a null return
+   (free list empty) opens a stall episode whose total wait — first
+   failure to next success — lands in [alloc_stall_wait]. *)
 let alloc t =
-  let r = Rheap.alloc t.sh.heap ~mark:(Atomic.get t.sh.f_a) in
+  let lat = t.sh.lat in
+  let r =
+    if not lat.Rshared.lat_on then Rheap.alloc t.sh.heap ~mark:(Atomic.get t.sh.f_a)
+    else begin
+      let t0 = Obs.Clock.monotonic_ns () in
+      let r = Rheap.alloc t.sh.heap ~mark:(Atomic.get t.sh.f_a) in
+      let t1 = Obs.Clock.monotonic_ns () in
+      if r = Rheap.null then begin
+        if t.stall_since_ns < 0 then begin
+          t.stall_since_ns <- t0;
+          Atomic.incr lat.alloc_stalls
+        end
+      end
+      else begin
+        Obs.Latency.record lat.alloc (t1 - t0);
+        if t.stall_since_ns >= 0 then begin
+          Obs.Latency.record lat.alloc_stall_wait (t1 - t.stall_since_ns);
+          t.stall_since_ns <- -1
+        end
+      end;
+      r
+    end
+  in
   adopt t r;
   t.ops <- t.ops + 1;
   r

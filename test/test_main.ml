@@ -12,6 +12,7 @@ let () =
       ("reduce", Test_reduce.suite);
       ("runtime", Test_runtime.suite);
       ("obs", Test_obs.suite);
+      ("latency", Test_latency.suite);
       ("tracing", Test_tracing.suite);
       ("explain", Test_explain.suite);
       ("mutate", Test_mutate.suite);

@@ -131,6 +131,19 @@ let test_histogram_reservoir () =
     Alcotest.check json "snapshot count" (Obs.Json.Int 10_000) (List.assoc "count" fields)
   | j -> Alcotest.failf "hsnapshot is not an object: %s" (Obs.Json.to_string j)
 
+let test_empty_histogram_snapshot () =
+  (* regression: an empty histogram's snapshot must be count=0 with
+     explicit nulls, not NaN-valued stats relying on the JSON writer to
+     degrade them *)
+  let h = Obs.Metrics.histogram ~registry:(Obs.Metrics.create_registry ()) "empty" in
+  match Obs.Metrics.hsnapshot h with
+  | Obs.Json.Obj fields ->
+    Alcotest.check json "count is zero" (Obs.Json.Int 0) (List.assoc "count" fields);
+    List.iter
+      (fun k -> Alcotest.check json (k ^ " is null") Obs.Json.Null (List.assoc k fields))
+      [ "mean"; "p50"; "p90"; "p99"; "min"; "max" ]
+  | j -> Alcotest.failf "hsnapshot is not an object: %s" (Obs.Json.to_string j)
+
 let test_atomic_counter_under_domains () =
   let c = Obs.Metrics.acounter ~registry:(Obs.Metrics.create_registry ()) "cas" in
   let per_domain = 10_000 in
@@ -385,6 +398,8 @@ let suite =
     Alcotest.test_case "metrics: exact percentiles under capacity" `Quick
       test_histogram_exact_percentiles;
     Alcotest.test_case "metrics: reservoir over capacity" `Quick test_histogram_reservoir;
+    Alcotest.test_case "metrics: empty histogram snapshot is nulls" `Quick
+      test_empty_histogram_snapshot;
     Alcotest.test_case "metrics: atomic counter under 4 domains" `Quick
       test_atomic_counter_under_domains;
     Alcotest.test_case "reporter: memory sink and lifecycle" `Quick test_reporter_memory_sink;
