@@ -557,6 +557,87 @@ let checker_reduce () =
   in
   Obs.Json.List [ scenario Core.Scenario.baseline; scenario Core.Scenario.two_mutators ]
 
+(* -- checker-certify: recheck cost vs explore, certificate size --------------
+
+   The certifying checker's two headline numbers on the two-mutator
+   closing instance: how much of a certifying explore's wall time the
+   independent recheck costs, and how many table bytes the certificate
+   spends per state.  The validator re-derives every verdict and every
+   closure edge semantically, so the ratio is a constant fraction of the
+   explore by construction (~0.8 on this host — DESIGN.md §14 discusses
+   why, and where the <=0.5 regimes are); the point of tracking it is
+   catching a *relative* regression in either direction — a jump toward
+   1.0 means the validator grew overhead, a drop toward 0 means it
+   stopped re-deriving something.  Rows land under "checker_certify". *)
+
+let checker_certify () =
+  let sc = Core.Scenario.two_mutators in
+  let mode = Reduce.Mode.All in
+  let reducer = Core.Reduction.reducer sc.Core.Scenario.cfg mode in
+  let invariants = Core.Scenario.invariants sc in
+  let initial = (Core.Scenario.model sc).Core.Model.system in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) (Fmt.str "bench-cert-%d" (Unix.getpid ()))
+  in
+  let dump = ref None in
+  let on_store st = dump := Some (Certify.Writer.of_store st) in
+  let t0 = Unix.gettimeofday () in
+  let o = Check.Par_explore.run ~jobs:1 ~on_store ?reducer ~invariants initial in
+  let entries, max_depth =
+    match !dump with
+    | Some (Ok r) -> r
+    | Some (Error e) -> Fmt.failwith "checker-certify: certificate dump failed: %s" e
+    | None -> Fmt.failwith "checker-certify: on_store never fired"
+  in
+  (match
+     Certify.Writer.write ~dir ~config_hash:(Core.Config.hash sc.Core.Scenario.cfg)
+       ~reduce:(Reduce.Mode.to_string mode)
+       ~invariant_names:(List.map fst invariants)
+       ~run_config:(Obs.Json.Obj [ ("bench", Obs.Json.String "checker-certify") ])
+       ~max_depth entries
+   with
+  | Ok _ -> ()
+  | Error e -> Fmt.failwith "checker-certify: write failed: %s" e);
+  let explore_certify_s = Unix.gettimeofday () -. t0 in
+  let t1 = Unix.gettimeofday () in
+  let stats =
+    match
+      Certify.Recheck.validate ~reducer ~invariants
+        ~config_hash:(Core.Config.hash sc.Core.Scenario.cfg) ~dir initial
+    with
+    | Ok (_, st) -> st
+    | Error e -> Fmt.failwith "checker-certify: recheck failed: %s" e
+  in
+  let recheck_s = Unix.gettimeofday () -. t1 in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir;
+  let ratio = if explore_certify_s > 0. then recheck_s /. explore_certify_s else 0. in
+  let bytes_per_state =
+    if o.Check.Explore.states > 0 then
+      float_of_int stats.Certify.Recheck.table_bytes /. float_of_int o.Check.Explore.states
+    else 0.
+  in
+  Fmt.pr "  %-44s %10d states %8.2f s@."
+    (Fmt.str "checker-certify-explore (%s)" sc.Core.Scenario.label)
+    o.Check.Explore.states explore_certify_s;
+  Fmt.pr "  %-44s %10d states %8.2f s  ratio %.2f@." "checker-certify-recheck"
+    stats.Certify.Recheck.states recheck_s ratio;
+  Fmt.pr "  %-44s %10d bytes  %8.1f bytes/state@." "checker-certify-table"
+    stats.Certify.Recheck.table_bytes bytes_per_state;
+  Obs.Json.Obj
+    [
+      ("scenario", Obs.Json.String sc.Core.Scenario.label);
+      ("reduce", Obs.Json.String (Reduce.Mode.to_string mode));
+      ("states", Obs.Json.Int o.Check.Explore.states);
+      ("explore_certify_s", Obs.Json.Float explore_certify_s);
+      ("recheck_s", Obs.Json.Float recheck_s);
+      ("recheck_ratio", Obs.Json.Float ratio);
+      ("recheck_states_per_sec", Obs.Json.Float
+         (if recheck_s > 0. then float_of_int stats.Certify.Recheck.states /. recheck_s else 0.));
+      ("table_bytes", Obs.Json.Int stats.Certify.Recheck.table_bytes);
+      ("bytes_per_state", Obs.Json.Float bytes_per_state);
+    ]
+
 (* -- campaign: mutation kills, states and wall-time to detection -------------
 
    The armed mutant population (every site the static analysis expects the
@@ -615,14 +696,14 @@ let campaign_bench () =
    blocks.  Written next to the text output so perf PRs can diff
    BENCH_*.json across revisions.  The path is a CLI flag (-o FILE) so
    revisions can write side by side. *)
-let bench_report_file = ref "BENCH_9.json"
+let bench_report_file = ref "BENCH_10.json"
 let force_gap = ref false
 let against_file : string option ref = ref None
 
 let parse_cli () =
   Arg.parse
     [
-      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_9.json)");
+      ("-o", Arg.Set_string bench_report_file, "FILE  report path (default BENCH_10.json)");
       ("--out", Arg.Set_string bench_report_file, "FILE  same as -o");
       ( "--force",
         Arg.Set force_gap,
@@ -668,7 +749,7 @@ let check_series () =
         (String.concat ", " (List.map (Fmt.str "BENCH_%d.json") missing))
 
 let write_report groups checker checker_par checker_store runtime_latency checker_reduce
-    campaign =
+    checker_certify campaign =
   let group_record (gname, rows) =
     Obs.Json.Obj
       [
@@ -714,6 +795,7 @@ let write_report groups checker checker_par checker_store runtime_latency checke
         ("checker_store", checker_store);
         ("runtime_latency", runtime_latency);
         ("checker_reduce", checker_reduce);
+        ("checker_certify", checker_certify);
         ("campaign", campaign);
       ]
   in
@@ -766,9 +848,12 @@ let () =
   let runtime_latency = runtime_latency () in
   Fmt.pr "=== checker-reduce (states and wall-clock per mode) ===@.";
   let checker_reduce = checker_reduce () in
+  Fmt.pr "=== checker-certify (recheck cost vs explore, certificate size) ===@.";
+  let checker_certify = checker_certify () in
   Fmt.pr "=== campaign (mutation kills: states and time to detection) ===@.";
   let campaign = campaign_bench () in
-  write_report groups checker checker_par checker_store runtime_latency checker_reduce campaign;
+  write_report groups checker checker_par checker_store runtime_latency checker_reduce
+    checker_certify campaign;
   (match !against_file with
   | None -> ()
   | Some old_path -> (

@@ -353,9 +353,22 @@ let explain_violation ?last ~html ~obs cfg violation =
   | Some _, None -> Fmt.pr "explain: no violation — no report written@."
   | Some _, Some tr -> ignore (write_explanation ?last ~html ~obs cfg tr)
 
+let certificate_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "certificate" ] ~docv:"DIR"
+        ~doc:
+          "On a closed, violation-free run, write a proof-witness certificate into $(docv): \
+           the reach table (canonical fingerprint, BFS depth, invariant verdict per state) \
+           in the delta-compressed segment format, under a header binding the configuration \
+           hash, reduction mode and closure obligations.  Validate it later — without \
+           re-running the explorer — with $(b,gcmodel recheck) $(docv).  Refused (exit 1) \
+           on truncated or violating runs.  See docs/CERTIFICATES.md.")
+
 let explore_cmd =
   let run raw shape safety_only max_states jobs reduce mem_budget spill_dir checkpoint
-      checkpoint_every explain trace_out obs =
+      checkpoint_every certificate explain trace_out obs =
     let cv = resolve_cfg raw in
     let cfg, v = cv in
     let model = model_of cv shape in
@@ -370,22 +383,77 @@ let explore_cmd =
       run_config_json raw ~shape ~safety_only ~max_states ~jobs ~reduce ~mem_budget
         ~checkpoint_every
     in
+    (* at jobs = 1 the certificate table is dumped straight from the
+       seen-set (the one-worker pool is a FIFO BFS, so its depth stamps
+       are BFS distances); the hook also forces the pool path, which is
+       what threads a store through the run at all *)
+    let cert_dump = ref None in
+    let on_store =
+      match certificate with
+      | Some _ when jobs <= 1 -> Some (fun store -> cert_dump := Some (Certify.Writer.of_store store))
+      | Some _ | None -> None
+    in
+    let invariants = invariants_of cfg safety_only in
     let o =
       Check.Par_explore.run ~jobs ~max_states ~obs ~tracer ?reducer ?mem_budget ?spill_dir
         ?checkpoint:(Option.map (fun dir -> (dir, checkpoint_every)) checkpoint)
-        ~run_config ~invariants:(invariants_of cfg safety_only) model.Core.Model.system
+        ?on_store ~run_config ~invariants model.Core.Model.system
     in
     Fmt.pr "%a@." Check.Explore.pp_outcome o;
     report cfg obs o.Check.Explore.violation;
     explain_violation ~html:explain ~obs cfg o.Check.Explore.violation;
+    let cert_failed =
+      match certificate with
+      | None -> None
+      | Some dir ->
+        let refuse msg = Some (Fmt.str "certificate refused: %s" msg) in
+        if o.Check.Explore.truncated then refuse "run truncated (state cap reached)"
+        else if o.Check.Explore.violation <> None then refuse "run found a violation"
+        else begin
+          let table =
+            if jobs <= 1 then
+              match !cert_dump with
+              | Some r -> r
+              | None -> Error "internal error: seen-set dump not captured"
+            else begin
+              (* parallel schedules can drift at the symmetry reduction's
+                 local-automorphism boundary: re-derive the canonical
+                 quotient table deterministically so the certificate is
+                 byte-identical to a jobs=1 run's *)
+              Fmt.pr "certificate: deterministic sweep (jobs=%d order is schedule-dependent)@."
+                jobs;
+              Certify.Recheck.sweep ~reducer ~invariants model.Core.Model.system
+            end
+          in
+          match table with
+          | Error msg -> refuse msg
+          | Ok (entries, max_depth) -> (
+            match
+              Certify.Writer.write ~dir ~config_hash:(Core.Config.hash cfg)
+                ~reduce:(Reduce.Mode.to_string reduce) ~invariant_names:(List.map fst invariants)
+                ~run_config ~max_depth entries
+            with
+            | Error msg -> refuse msg
+            | Ok h ->
+              Fmt.pr "certificate: %d states (max depth %d, config %s) written to %s@."
+                h.Certify.Certificate.states h.Certify.Certificate.max_depth
+                h.Certify.Certificate.config_hash dir;
+              None)
+        end
+    in
     close_trace tracer trace_out;
-    Obs.Reporter.close obs
+    Obs.Reporter.close obs;
+    match cert_failed with
+    | Some msg ->
+      Fmt.epr "%s@." msg;
+      exit 1
+    | None -> ()
   in
   Cmd.v (Cmd.info "explore" ~doc:"Exhaustive BFS with invariant checking.")
     Term.(
       const run $ raw_cfg_term $ shape_term $ safety_only $ max_states $ jobs
       $ reduce_term ~default:"all" $ mem_budget_term $ spill_dir_term $ checkpoint_term
-      $ checkpoint_every_term $ explain_file $ trace_out_term $ obs_term)
+      $ checkpoint_every_term $ certificate_term $ explain_file $ trace_out_term $ obs_term)
 
 let resume_cmd =
   let dir =
@@ -450,6 +518,101 @@ let resume_cmd =
           resumed run reaches the same verdict, violated invariant and counterexample length \
           as an uninterrupted one, and keeps checkpointing into the same directory.")
     Term.(const run $ dir $ jobs_override $ explain_file $ trace_out_term $ obs_term)
+
+let recheck_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Certificate directory written by $(b,explore --certificate).")
+  in
+  let run dir obs =
+    let fail msg =
+      Fmt.epr "gcmodel recheck: FAILED — %s@." msg;
+      exit 1
+    in
+    match Certify.Certificate.read_header dir with
+    | Error msg -> fail msg
+    | Ok h ->
+      (* rebuild the instance from the embedded run configuration, as
+         resume does from checkpoint manifests; the reduction mode comes
+         from the header field the certificate binds *)
+      let raw, shape, safety_only, _, _, _, _, _ = run_config_parse h.Certify.Certificate.run_config in
+      let reduce =
+        match Reduce.Mode.of_string h.Certify.Certificate.reduce with
+        | Ok m -> m
+        | Error e -> fail (Fmt.str "header field \"reduce\": %s" e)
+      in
+      let cv = resolve_cfg raw in
+      let cfg, v = cv in
+      let model = model_of cv shape in
+      let reducer = Core.Reduction.reducer cfg reduce in
+      let invariants = invariants_of cfg safety_only in
+      Fmt.pr "rechecking %s: variant=%s shape=%s muts=%d refs=%d reduce=%a (%d states claimed)@."
+        dir v.Core.Variants.name shape cfg.Core.Config.n_muts cfg.Core.Config.n_refs
+        Reduce.Mode.pp reduce h.Certify.Certificate.states;
+      (match
+         Certify.Recheck.validate ~reducer ~invariants ~config_hash:(Core.Config.hash cfg)
+           ~dir model.Core.Model.system
+       with
+      | Error msg -> fail msg
+      | Ok (_, st) ->
+        let rate =
+          if st.Certify.Recheck.elapsed_s > 0. then
+            float_of_int st.Certify.Recheck.states /. st.Certify.Recheck.elapsed_s
+          else 0.
+        in
+        Fmt.pr
+          "recheck: OK — %d states, %d transitions, max depth %d validated in %.3fs (%.0f \
+           states/s, %.1f table bytes/state)@."
+          st.Certify.Recheck.states st.Certify.Recheck.transitions
+          st.Certify.Recheck.max_depth st.Certify.Recheck.elapsed_s rate
+          (float_of_int st.Certify.Recheck.table_bytes /. float_of_int (max 1 st.Certify.Recheck.states));
+        Obs.Reporter.emit obs "recheck"
+          [
+            ("dir", Obs.Json.String dir);
+            ("states", Obs.Json.Int st.Certify.Recheck.states);
+            ("transitions", Obs.Json.Int st.Certify.Recheck.transitions);
+            ("max_depth", Obs.Json.Int st.Certify.Recheck.max_depth);
+            ("elapsed_s", Obs.Json.Float st.Certify.Recheck.elapsed_s);
+            ("table_bytes", Obs.Json.Int st.Certify.Recheck.table_bytes);
+          ]);
+      Obs.Reporter.close obs
+  in
+  Cmd.v
+    (Cmd.info "recheck"
+       ~doc:
+         "Validate a certificate written by $(b,explore --certificate) without running the \
+          explorer: stream the table, re-evaluate the full invariant catalogue on every \
+          state, re-derive every depth stamp, and discharge transition closure by \
+          regenerating each state's successors and probing table membership.  Any miss, \
+          tamper or configuration mismatch fails closed (exit 1) naming the offending \
+          fingerprint or header field.")
+    Term.(const run $ dir $ obs_term)
+
+let certdiff_cmd =
+  let dir_a =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"A" ~doc:"First certificate.")
+  in
+  let dir_b =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"B" ~doc:"Second certificate.")
+  in
+  let run a b =
+    match Certify.Diff.run a b with
+    | Error msg ->
+      Fmt.epr "gcmodel certdiff: %s@." msg;
+      exit 2
+    | Ok d ->
+      Fmt.pr "%a@." Certify.Diff.pp d;
+      if not (Certify.Diff.identical d) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certdiff"
+       ~doc:
+         "Compare two certificates structurally: header fields, then a linear merge of the \
+          sorted tables (states only in one, depth or verdict changes).  Exits 0 iff \
+          identical — the CI no-change gate between consecutive runs.")
+    Term.(const run $ dir_a $ dir_b)
 
 let walk_cmd =
   let steps = Arg.(value & opt int 100_000 & info [ "steps" ] ~doc:"Scheduled steps.") in
@@ -804,7 +967,18 @@ let campaign_cmd =
   let list_only =
     Arg.(value & flag & info [ "list" ] ~doc:"List the selected mutants and exit.")
   in
-  let run operators budget muts jobs reduce out html stubs list_only obs =
+  let certificates =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "certificates" ] ~docv:"DIR"
+          ~doc:
+            "Close surviving equivalent mutants by certificate: for each survivor whose \
+             applicable scenarios all closed, write one proof-witness certificate per \
+             scenario into $(docv)/(mutant)/(scenario), each validatable with \
+             $(b,gcmodel recheck).")
+  in
+  let run operators budget muts jobs reduce out html stubs certificates list_only obs =
     let known = Mutate.Operators.families @ [ "variant" ] in
     List.iter
       (fun f -> if not (List.mem f known) then Fmt.failwith "unknown operator family %s" f)
@@ -825,8 +999,11 @@ let campaign_cmd =
       let scenarios = Mutate.Campaign.scenarios ~muts () in
       Fmt.pr "campaign: %d mutants x %d scenarios, budget %d, jobs %d, reduce %a@."
         (List.length mutants) (List.length scenarios) budget jobs Reduce.Mode.pp reduce;
-      let o = Mutate.Campaign.run ~obs ~budget ~jobs ~reduce ~scenarios ~mutants () in
+      let o = Mutate.Campaign.run ~obs ~budget ~jobs ~reduce ~scenarios ?certificates ~mutants () in
       print_string (Mutate.Kill_matrix.summary o);
+      (match certificates with
+      | Some dir -> Fmt.pr "campaign: survivor certificates under %s@." dir
+      | None -> ());
       (match out with
       | None -> ()
       | Some path ->
@@ -875,7 +1052,7 @@ let campaign_cmd =
           kill-matrix in JSON and HTML.  Exits 1 if any ablation survives.")
     Term.(
       const run $ operators $ budget $ muts $ jobs $ reduce_term ~default:"all" $ out $ html
-      $ stubs $ list_only $ obs_term)
+      $ stubs $ certificates $ list_only $ obs_term)
 
 (* -- bench regression gate (lib/obs/benchcmp) -------------------------------- *)
 
@@ -936,6 +1113,15 @@ let doc_variants_cmd =
        ~doc:
          "Emit the variant and mutation-operator reference manual (docs/VARIANTS.md) to \
           stdout.  CI diffs the committed file against this output.")
+    Term.(const run $ const ())
+
+let doc_certificates_cmd =
+  let run () = print_string (Mutate.Doc_gen.certificates_md ()) in
+  Cmd.v
+    (Cmd.info "doc-certificates"
+       ~doc:
+         "Emit the certificate format specification (docs/CERTIFICATES.md) to stdout.  CI \
+          diffs the committed file against this output.")
     Term.(const run $ const ())
 
 (* -- concrete runtime stress harness (lib/runtime) --------------------------- *)
@@ -1016,8 +1202,9 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            explore_cmd; resume_cmd; walk_cmd; crosscheck_cmd; explain_cmd; campaign_cmd;
+            explore_cmd; resume_cmd; recheck_cmd; certdiff_cmd; walk_cmd; crosscheck_cmd;
+            explain_cmd; campaign_cmd;
             benchdiff_cmd; harness_cmd;
             variants_cmd; shapes_cmd; dump_cmd; program_cmd; doc_invariants_cmd;
-            doc_variants_cmd;
+            doc_variants_cmd; doc_certificates_cmd;
           ]))

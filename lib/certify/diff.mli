@@ -1,0 +1,23 @@
+(** Structural comparison of two certificates: header deltas plus a
+    linear merge of the sorted tables.  Model-free — the CI no-change
+    gate runs it on artifacts alone. *)
+
+type t = {
+  header_deltas : (string * string * string) list;
+      (** (field, value in A, value in B), differing fields only *)
+  only_a : int;  (** entries only in A *)
+  only_b : int;  (** entries only in B *)
+  changed : int;  (** same fingerprint, different depth or verdict *)
+  examples : string list;  (** first few entry-level differences *)
+  a_states : int;
+  b_states : int;
+}
+
+val identical : t -> bool
+(** No header deltas and no entry differences. *)
+
+val run : string -> string -> (t, string) result
+(** [run dir_a dir_b] loads both certificates (digest-checked) and
+    compares them; [Error] if either fails to load. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,26 @@
+(** Certificate emission: turn a finished run's reach table into a
+    certificate directory ({!Certificate}). *)
+
+val of_store : Store.Tiered.t -> (Store.Segment.entry array * int, string) result
+(** Dump the explorer's tiered seen-set — tier-0 shards merged with any
+    spilled segments, min-depth per fingerprint — into a certificate
+    table (sorted, parent/event zeroed) with its max depth.  Only valid
+    after a deterministic (jobs = 1, FIFO BFS) run, whose depth stamps
+    are BFS distances; nondeterministic producers must use
+    {!Recheck.sweep} instead.  [Error] if any state records a violation
+    or was never expanded (truncated run) — such runs are not
+    certifiable. *)
+
+val write :
+  dir:string ->
+  config_hash:string ->
+  reduce:string ->
+  invariant_names:string list ->
+  run_config:Obs.Json.t ->
+  max_depth:int ->
+  Store.Segment.entry array ->
+  (Certificate.header, string) result
+(** Emit [table.seg] then [CERT.json] into [dir] (created if missing).
+    The header is written last, so a crash mid-write never leaves a
+    parsable certificate.  [Error] on an empty table or a table without
+    a unique depth-0 root entry. *)

@@ -93,6 +93,7 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
     ~invariants initial =
   let norm sys = if normal_form then Cimp.System.normalize sys else sys in
   let fp_of sys = Reducer.fp_of reducer sys in
+  let canon sys = Reducer.canon_of reducer sys in
   let initial = norm initial in
   let coverage = Hashtbl.create (if track_coverage then 512 else 1) in
   let record_event ev =
@@ -204,8 +205,15 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
       | Some (pfp, event) -> back pfp ((fp, event) :: acc)
     in
     let chain = back fp [] in
+    (* replay through canonical representatives (root included): the
+       recorded events were generated from them, so later steps must
+       re-take the same path (fingerprints are canon-invariant) *)
+    let initial = canon initial in
     let steps =
-      replay_chain ~norm ~matches:(fun s' fp' -> Fingerprint.equal (fp_of s') fp') initial chain
+      replay_chain
+        ~norm:(fun s -> canon (norm s))
+        ~matches:(fun s' fp' -> Fingerprint.equal (fp_of s') fp')
+        initial chain
     in
     { Trace.initial; steps; broken }
   in
@@ -218,6 +226,10 @@ let run ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false
       | _ -> ());
       incr states;
       if d > !depth then depth := d;
+      (* expand (and evaluate) the executable canonical representative,
+         not whichever concrete state arrived first: the explored graph
+         is then the quotient graph, independent of arrival order *)
+      let sys = canon sys in
       (match !violation with
       | Some _ -> ()
       | None -> (

@@ -21,6 +21,8 @@ type ('a, 'v, 's) outcome = {
 }
 
 val pp_outcome : ('a, 'v, 's) outcome Fmt.t
+(** One-line human rendering of an outcome (counts, depth, wall time,
+    verdict) — the checker CLIs' summary line. *)
 
 (** Sort (pid, label) coverage pairs deterministically (by pid, then
     label), as the [covered] field is; shared with {!Par_explore}. *)

@@ -15,6 +15,8 @@
 type t
 
 val of_system : ('a, 'v, 's) Cimp.System.t -> t
+(** Fingerprint a system's (control spine, data payloads) pair; the
+    compact hash is computed here, once. *)
 
 (** [of_parts ~control ~data] fingerprints an explicitly assembled
     (control-spine, data-payload) pair with the exact mix {!of_system}
@@ -39,4 +41,6 @@ val fp64 : t -> int64
     so tests can compare collision/determinism behaviour of both hashes. *)
 val hash_poly : t -> int
 
+(** Hash tables keyed by fingerprint ({!hash} for hashing, {!equal} for
+    collision resolution) — the sequential explorer's seen-set. *)
 module Table : Hashtbl.S with type key = t

@@ -24,4 +24,9 @@ val make : obs:Obs.Reporter.t -> (string * ('sys -> bool)) list -> 'sys t
 (** Instrumented when [obs] is enabled, [plain] otherwise. *)
 
 val plain : (string * ('sys -> bool)) list -> 'sys t
+(** The zero-bookkeeping fast path: [check] is a bare first-failure
+    scan, [report]/[totals] are no-ops. *)
+
 val instrumented : (string * ('sys -> bool)) list -> 'sys t
+(** The accounting variant: per-invariant eval counts and cumulative
+    timings, at the cost of two clock reads per evaluation. *)

@@ -177,10 +177,11 @@ let pop_batch_size = 8
 
 let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_coverage = false)
     ?(obs = Obs.Reporter.null) ?(tracer = Obs.Tracing.null) ?(heartbeat_every = 20_000)
-    ?(hooks = no_hooks) ?reducer ?mem_budget ?spill_dir ?checkpoint ?resume
+    ?(hooks = no_hooks) ?reducer ?mem_budget ?spill_dir ?checkpoint ?resume ?on_store
     ?(run_config = Obs.Json.Null) ~invariants initial =
   let jobs = max 1 (min jobs max_jobs) in
-  if jobs = 1 && mem_budget = None && checkpoint = None && resume = None then
+  if jobs = 1 && mem_budget = None && checkpoint = None && resume = None && on_store = None
+  then
     (* the sequential explorer is the jobs=1 semantics, bit for bit; any
        store or checkpoint option selects the pool (with one worker: a
        FIFO deque, so still deterministic BFS order) *)
@@ -193,7 +194,11 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
     in
     let norm sys = if normal_form then Cimp.System.normalize sys else sys in
     let fp_of sys = Reducer.fp_of reducer sys in
-    let initial = norm initial in
+    let canon sys = Reducer.canon_of reducer sys in
+    (* expand canonical representatives everywhere (root included): the
+       visited class set is then independent of which worker reaches a
+       class first — see Explore for the sequential twin of this rule *)
+    let initial = canon (norm initial) in
     let codec = Store.Event_codec.of_system initial in
     let seen =
       match resume with
@@ -358,7 +363,8 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
       in
       let chain = back fp [] in
       let steps =
-        Explore.replay_chain ~norm
+        Explore.replay_chain
+          ~norm:(fun s -> canon (norm s))
           ~matches:(fun s' fp' -> Fingerprint.hash (fp_of s') = fp')
           initial chain
       in
@@ -559,6 +565,10 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
                     | Store.Tiered.Fresh ->
                       let n = Atomic.fetch_and_add states 1 + 1 in
                       if n >= max_states then Atomic.set truncated true;
+                      (* evaluate and expand the canonical representative
+                         of the fresh class (canonicalization is paid
+                         once per class, not per generated successor) *)
+                      let sys' = canon sys' in
                       (match timed inv_ns (fun () -> iv.Inv_stats.check sys') with
                       | Some name ->
                         let idx = inv_index name in
@@ -568,7 +578,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
                       if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
                     | Store.Tiered.Improved viol ->
                       if viol >= 0 then offer ~depth:d' ~fp:fp' ~inv:viol;
-                      if d' < Atomic.get best_depth then out := (fp', sys', d') :: !out
+                      if d' < Atomic.get best_depth then out := (fp', canon sys', d') :: !out
                     | Store.Tiered.Stale -> ()
                   end
                 end
@@ -697,7 +707,7 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
               List.find_map
                 (fun (e, s') ->
                   if e = ev then begin
-                    let s' = norm s' in
+                    let s' = canon (norm s') in
                     if Fingerprint.hash (fp_of s') = fp then Some s' else None
                   end
                   else None)
@@ -825,6 +835,10 @@ let run ?(jobs = 1) ?(max_states = 1_000_000) ?(normal_form = true) ?(track_cove
             ("segment_mem_bytes", Obs.Json.Int st.Store.Tiered.segment_mem_bytes);
           ])
     end;
+    (* certificate writers read the store after the run settles but before
+       it goes out of scope (the snapshot above already flushed nothing:
+       the store is complete in RAM + segments at this point) *)
+    (match on_store with None -> () | Some f -> f seen);
     let covered = merged_covered () in
     {
       Explore.states;

@@ -43,8 +43,11 @@ type hooks = {
 }
 
 val no_hooks : hooks
+(** Hooks that do nothing (the default). *)
 
 val max_jobs : int
+(** Cap on [jobs] (64): deques, lanes and per-worker counters are
+    fixed-size arrays of this length. *)
 
 (** [run ~jobs ~invariants initial] explores like {!Explore.run} but
     across [jobs] worker domains.  [jobs <= 1] (the default) delegates to
@@ -138,6 +141,7 @@ val run :
   ?spill_dir:string ->
   ?checkpoint:string * int ->
   ?resume:Store.Checkpoint.snapshot ->
+  ?on_store:(Store.Tiered.t -> unit) ->
   ?run_config:Obs.Json.t ->
   invariants:(string * (('a, 'v, 's) Cimp.System.t -> bool)) list ->
   ('a, 'v, 's) Cimp.System.t ->

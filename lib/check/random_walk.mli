@@ -12,6 +12,8 @@ type ('a, 'v, 's) outcome = {
 }
 
 val pp_outcome : ('a, 'v, 's) outcome Fmt.t
+(** One-line human rendering of a walk outcome (steps, runs, restarts,
+    wall time, verdict). *)
 
 (** [run ~invariants initial] walks until [steps] scheduled steps have been
     taken or an invariant fails.  Deterministic in [seed].

@@ -1,6 +1,8 @@
 (** Counterexample traces: the schedule of events from the initial state to
     a state violating an invariant. *)
 
+(** One transition of the schedule: the event fired and the state it
+    produced. *)
 type ('a, 'v, 's) step = { event : Cimp.System.event; state : ('a, 'v, 's) Cimp.System.t }
 
 type ('a, 'v, 's) t = {
@@ -10,6 +12,7 @@ type ('a, 'v, 's) t = {
 }
 
 val length : ('a, 'v, 's) t -> int
+(** Number of steps (the counterexample's schedule length). *)
 
 (** The violating state ([initial] if the trace is empty). *)
 val final : ('a, 'v, 's) t -> ('a, 'v, 's) Cimp.System.t
@@ -27,7 +30,11 @@ val pp : ('a, 'v, 's) t Fmt.t
     intermediate state. *)
 
 val event_to_json : Cimp.System.event -> Obs.Json.t
+(** One schedule entry: [{"tau": pid, "label"}] or
+    [{"rendezvous": ...}] — the unit {!to_json} composes. *)
+
 val event_of_json : Obs.Json.t -> (Cimp.System.event, string) result
+(** Parse one schedule entry back; [Error] names the malformed field. *)
 
 (** [{"broken"; "length"; "names"; "schedule"}] — see README
     "Observability" for the schema. *)

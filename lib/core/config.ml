@@ -88,6 +88,65 @@ let mutation_name = function
   | Swap_mark_loads p -> "swap-mark-loads:" ^ p
   | Alloc_color_off -> "alloc-color-off"
 
+(* Stable serialization of the full configuration, for certificate
+   headers (lib/certify).  The record is destructured exhaustively —
+   without a wildcard — so adding a field breaks this function at
+   compile time instead of silently hashing configurations that differ
+   in the new field to the same string. *)
+let describe cfg =
+  let {
+    n_muts;
+    n_refs;
+    n_fields;
+    buf_bound;
+    sc_memory;
+    pso_memory;
+    deletion_barrier;
+    insertion_barrier;
+    insertion_skip_after_roots;
+    alloc_white;
+    handshake_fences;
+    skip_init_handshakes;
+    cas_mark;
+    mut_load;
+    mut_store;
+    mut_alloc;
+    mut_discard;
+    mut_mfence;
+    max_cycles;
+    max_mut_ops;
+    mutation;
+  } =
+    cfg
+  in
+  let b v = if v then "1" else "0" in
+  String.concat ";"
+    [
+      Printf.sprintf "muts=%d" n_muts;
+      Printf.sprintf "refs=%d" n_refs;
+      Printf.sprintf "fields=%d" n_fields;
+      Printf.sprintf "buf=%d" buf_bound;
+      "sc=" ^ b sc_memory;
+      "pso=" ^ b pso_memory;
+      "del=" ^ b deletion_barrier;
+      "ins=" ^ b insertion_barrier;
+      "o2=" ^ b insertion_skip_after_roots;
+      "allocw=" ^ b alloc_white;
+      "hsf=" ^ b handshake_fences;
+      "o1=" ^ b skip_init_handshakes;
+      "cas=" ^ b cas_mark;
+      "load=" ^ b mut_load;
+      "store=" ^ b mut_store;
+      "alloc=" ^ b mut_alloc;
+      "discard=" ^ b mut_discard;
+      "mfence=" ^ b mut_mfence;
+      Printf.sprintf "cycles=%d" max_cycles;
+      Printf.sprintf "ops=%d" max_mut_ops;
+      ("mutation=" ^ match mutation with None -> "-" | Some m -> mutation_name m);
+    ]
+
+let hash cfg = Digest.to_hex (Digest.string (describe cfg))
+
 (* Per-site queries for the program builders.  Each is a straight equality
    test against the active mutation, so an unmutated configuration pays one
    pattern match per site at construction time and nothing at run time. *)

@@ -60,6 +60,17 @@ val mutation_name : mutation -> string
 (** Stable mutant identifier, e.g. ["drop-fence:gc:hs2:store-fence"] —
     the row key of the campaign kill-matrix. *)
 
+val describe : t -> string
+(** Stable, human-readable serialization of every configuration field,
+    e.g. ["muts=2;refs=2;...;mutation=-"].  Destructures the record
+    exhaustively, so adding a field without extending the serialization
+    is a compile error — the property certificate soundness rests on:
+    two configurations with equal [describe] build the same model. *)
+
+val hash : t -> string
+(** Hex digest of {!describe}; the [config_hash] bound into certificate
+    headers (lib/certify) and checked by [gcmodel recheck]. *)
+
 (** {2 Per-site queries for the program builders}
 
     Each is a straight equality test against the active mutation; an

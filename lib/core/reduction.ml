@@ -209,11 +209,23 @@ let reducer cfg (mode : Reduce.Mode.t) :
       | Sym -> Cimp.System.steps
       | None_ -> assert false
     in
+    (* the executable representative matches the fingerprint's nulling:
+       modes that dedup on the liveness-canonical fingerprint expand the
+       nulled state, so the explored graph is the quotient graph and the
+       visited class set is scheduling-independent (certificates depend
+       on this); plain-fingerprint modes expand states unchanged *)
+    let canon_state =
+      match mode with
+      | Sym | All -> Reduce.Symmetry.canon_state sp
+      | Por -> Fun.id
+      | None_ -> assert false
+    in
     Some
       {
         Check.Reducer.name = Reduce.Mode.to_string mode;
         fingerprint;
         successors;
+        canon_state;
         sym_permuted;
         reg_nulled;
         deferred;

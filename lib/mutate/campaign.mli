@@ -77,13 +77,25 @@ val run :
   ?jobs:int ->
   ?reduce:Reduce.Mode.t ->
   ?scenarios:Core.Scenario.t list ->
+  ?certificates:string ->
   mutants:mutant list ->
   unit ->
   outcome
 (** Run the campaign: each mutant against each applicable scenario in
     order, stopping at the first kill.  [budget] is the per-run state cap
     (default 300k); [reduce] defaults to {!Reduce.Mode.All}.  One
-    ["campaign"] record per mutant goes to [obs]. *)
+    ["campaign"] record per mutant goes to [obs].
+
+    With [certificates] set, each [Survived { closed = true }] mutant's
+    equivalence claim is closed by certificate: per applicable scenario
+    a deterministic sweep re-derives the reach table and writes a
+    certificate into [certificates]/(mutant)/(scenario), validatable by
+    [gcmodel recheck] (the header embeds a run configuration that
+    rebuilds the mutated instance via [--mutant]).  One ["certificate"]
+    record per written — or failed — certificate goes to [obs]; a
+    scenario whose configuration tweak is not expressible in the raw
+    explore flags yields a certificate recheck rejects with a
+    config-hash mismatch (loud failure, never a wrong PASS). *)
 
 val classification_fields : classification -> (string * Obs.Json.t) list
 (** The classification's JSON fields, shared between the JSONL records

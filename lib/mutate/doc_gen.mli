@@ -15,3 +15,11 @@ val variants_md : unit -> string
     description, how to run — ablations get their minimal-witness command
     line) and the whole mutation-operator catalogue with
     expected-equivalent rationales. *)
+
+val certificates_md : unit -> string
+(** [docs/CERTIFICATES.md]: the normative certificate format spec —
+    directory layout, header fields, table encoding, the closure
+    obligations and what discharges each, the determinism and trust
+    models, and the command cheat-sheet.  Rendered against the living
+    constants ({!Certify.Certificate.format_tag}, the invariant count),
+    so format drift breaks the CI diff. *)

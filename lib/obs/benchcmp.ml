@@ -165,7 +165,24 @@ let metrics_of_report report =
       in
       overhead @ rows
   in
-  groups @ checker @ par @ reduce @ store @ runtime_latency
+  let certify =
+    match Json.member "checker_certify" report with
+    | None -> []
+    | Some c ->
+      (* the ratio is tracked Lower_better (a jump means validator
+         overhead grew); throughput and table compactness the usual
+         ways round.  recheck_ratio gets a generous allowance via the
+         caller's threshold since both numerator and denominator are
+         sub-second walls on this instance *)
+      List.filter_map
+        (fun (key, dir, k) -> Option.map (fun v -> (key, dir, v)) (fmember k c))
+        [
+          ("checker_certify recheck_ratio", Lower_better, "recheck_ratio");
+          ("checker_certify recheck_states_per_sec", Higher_better, "recheck_states_per_sec");
+          ("checker_certify bytes_per_state", Lower_better, "bytes_per_state");
+        ]
+  in
+  groups @ checker @ par @ reduce @ store @ runtime_latency @ certify
 
 (* Top-level report keys benchcmp understands: metric sections it
    flattens, sections it deliberately skips, and run metadata.  Anything
@@ -176,7 +193,7 @@ let known_sections =
   [
     (* metric sections *)
     "groups"; "checker"; "checker_par"; "checker_reduce"; "checker_store";
-    "runtime_latency";
+    "runtime_latency"; "checker_certify";
     (* deliberately excluded: states-to-kill moves with search order *)
     "campaign";
     (* metadata *)

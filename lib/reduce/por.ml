@@ -1,29 +1,40 @@
-(* Partial-order reduction: ample successor sets.
+(* Partial-order reduction: persistent successor sets.
 
-   The selector implements one deliberately conservative ample-set rule:
-   when some process's *entire* enabled set is a single transition the
-   policy marks deferrable (for the GC model: an mfence rendezvous,
-   enabled only once the owner's store buffer has drained), that
-   singleton is the ample set; every other enabled transition of the
-   state is deferred.  Otherwise the ample set is the full successor
-   set.
+   The selector implements one deliberately conservative rule: the
+   ample set is the union of every process's enabled set that is a
+   single transition the policy marks deferrable (for the GC model: an
+   mfence rendezvous, enabled only once the owner's store buffer has
+   drained); every other enabled transition of the state is deferred.
+   When no process qualifies, the ample set is the full successor set.
 
    Why this satisfies the standard provisos (see DESIGN.md for the
    model-level argument):
 
-   - C0 (emptiness): the singleton is nonempty, and we only reduce when
-     the full set is nonempty.
+   - C0 (emptiness): the union is nonempty whenever we reduce, and we
+     only reduce when the full set is nonempty.
    - C1 (persistence): a deferrable transition must commute with every
      transition of every *other* process from any state where both are
-     enabled, and must stay enabled under them.  Since the owner has no
-     other transition here, no run can leave the ample set's
-     equivalence class before executing it.
+     enabled, and must stay enabled under them.  Each selected
+     transition is its owner's entire enabled set, other processes
+     cannot re-enable the owner, and selected transitions of different
+     owners commute with each other — so no run can leave the ample
+     set's equivalence class before executing one of its members: the
+     union is a persistent set (Godefroid), not merely a single-process
+     ample set.
    - C2 (visibility): a deferrable transition (with the normalization
      cascade behind it) must not change the truth of any invariant, so
      postponing the other transitions past it cannot hide a violation.
    - C3 (cycle): reduced ample chains cannot be infinite — here each
-     singleton strictly advances its owner's program past the fence, and
+     member strictly advances its owner's program past the fence, and
      chains have length <= n_procs, so the proviso is trivial.
+
+   Taking the *union* rather than the smallest qualifying owner's
+   singleton matters beyond reduction strength: the union is invariant
+   under any permutation of symmetric processes, while "smallest owner
+   pid" is not.  Combined with symmetry reduction, an equivariant
+   selector is what keeps the visited canonical-class set independent
+   of which orbit representative the checker happens to expand — the
+   property certificate closure (lib/certify) is checked against.
 
    The policy (which transitions are deferrable) is the model-specific
    part; lib/core supplies the GC model's. *)
@@ -45,15 +56,18 @@ let ample policy succs =
           IntMap.update p (function None -> Some [ t ] | Some ts -> Some (t :: ts)) m)
         IntMap.empty succs
     in
-    (* smallest qualifying owner pid, for determinism *)
-    let rec pick = function
-      | [] -> None
-      | (_, [ ((e, _) as t) ]) :: rest -> if policy.deferrable e then Some t else pick rest
-      | _ :: rest -> pick rest
+    (* every owner whose whole enabled set is one deferrable transition;
+       IntMap.bindings keeps the result in pid order, for determinism *)
+    let picked =
+      List.filter_map
+        (function
+          | _, [ ((e, _) as t) ] when policy.deferrable e -> Some t
+          | _ -> None)
+        (IntMap.bindings by_owner)
     in
-    (match pick (IntMap.bindings by_owner) with
-    | Some t -> ([ t ], List.length succs - 1)
-    | None -> (succs, 0))
+    (match picked with
+    | [] -> (succs, 0)
+    | ts -> (ts, List.length succs - List.length ts))
 
 (* The successor function for Check.Reducer, counting deferrals. *)
 let successors policy ~deferred sys =

@@ -1,16 +1,20 @@
-(** Partial-order reduction: ample successor sets.
+(** Partial-order reduction: persistent successor sets.
 
-    One conservative rule: when some process's entire enabled set is a
-    single transition the policy marks deferrable, that singleton is the
-    ample set (smallest such owner pid wins, for determinism); otherwise
-    the full successor set is used.  The policy must guarantee the
-    standard provisos for its deferrable transitions: independence from
-    every other process's transitions and persistence (C1), invisibility
-    to all invariants including the normalization cascade behind the
-    transition (C2); C0 and C3 hold by construction (singletons are
-    nonempty; each strictly advances its owner, so ample chains are
-    finite).  See the DESIGN.md "Reduction" section for the GC model's
-    argument. *)
+    One conservative rule: the ample set is the union, over every
+    process whose entire enabled set is a single transition the policy
+    marks deferrable, of those singletons; when no process qualifies the
+    full successor set is used.  The union (rather than one privileged
+    owner) makes the selector invariant under permutations of symmetric
+    processes, which keeps the visited canonical-class set independent
+    of orbit-representative choice — required by certificate closure
+    ([lib/certify]).  The policy must guarantee the standard provisos
+    for its deferrable transitions: independence from every other
+    process's transitions and persistence (C1), invisibility to all
+    invariants including the normalization cascade behind the transition
+    (C2); C0 and C3 hold by construction (the union is nonempty whenever
+    reduction applies; each member strictly advances its owner, so ample
+    chains are finite).  See the DESIGN.md "Reduction" section for the
+    GC model's argument. *)
 
 type policy = { deferrable : Cimp.System.event -> bool }
 

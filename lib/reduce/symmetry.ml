@@ -43,6 +43,26 @@ type ('a, 'v, 's) spec = {
          identity for payloads that mention no pids *)
 }
 
+(* Executable canonical representative: every process's local data with
+   its dead registers nulled, pids untouched.  Unlike the permuted state
+   assembled inside [canonical_fingerprint] (pure hash fodder — commands
+   embed pids in closures, so it could never run), the nulled state is an
+   ordinary runnable system, which lets the checkers expand it in place
+   of whichever concrete state they happened to reach first.  Physically
+   unchanged when no nulling rule fires, and idempotent (nulling rules
+   test against the null value, so a second pass fires nothing). *)
+let canon_state spec sys =
+  let n = Cimp.System.n_procs sys in
+  let out = ref sys in
+  for p = 0 to n - 1 do
+    let d = (Cimp.System.proc sys p).Cimp.Com.data in
+    (* spines are control state, unaffected by the data rewrites, so
+       reading them from the original [sys] is sound *)
+    let c = spec.canon_local sys ~pid:p d in
+    if c != d then out := Cimp.System.map_data !out p (fun _ -> c)
+  done;
+  !out
+
 (* All permutations of a list, for the property tests. *)
 let rec permutations = function
   | [] -> [ [] ]

@@ -2,10 +2,11 @@
 
     Interchangeable processes are sorted into a canonical order by a
     structural key; local registers that are dead at the current control
-    point are nulled.  Both happen only in the fingerprint the checker
-    dedups on — concrete states are explored unchanged, and canonical
-    states are never executed (CIMP commands embed closures, so they
-    could not be).
+    point are nulled.  The sort happens only in the fingerprint the
+    checker dedups on (permuted states embed closures, so they could not
+    be executed); the nulling additionally yields an {e executable}
+    representative ({!canon_state}) that the checkers expand per fresh
+    class, making the visited class set scheduling-independent.
 
     Soundness requires: the symmetric processes run the same program,
     the invariants are invariant under the permutation, [permute_ok]
@@ -28,6 +29,12 @@ type ('a, 'v, 's) spec = {
       (** move per-process slices of shared state along the permutation;
           identity for payloads that mention no pids *)
 }
+
+(** [canon_state spec sys]: the executable canonical representative —
+    [sys] with every process's dead registers nulled, pids untouched.
+    Physically equal to [sys] when no nulling rule fires; idempotent;
+    preserves {!canonical_fingerprint}. *)
+val canon_state : ('a, 'v, 's) spec -> ('a, 'v, 's) Cimp.System.t -> ('a, 'v, 's) Cimp.System.t
 
 (** All permutations of a list (property tests; factorial blowup). *)
 val permutations : 'a list -> 'a list list

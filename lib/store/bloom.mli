@@ -15,6 +15,8 @@ type t
 val create : expected:int -> t
 
 val add : t -> int -> unit
+(** Insert a key (segment construction only; filters are immutable once
+    their segment is written). *)
 
 (** Definitive [false]; [true] with ~1% false positives. *)
 val mem : t -> int -> bool

@@ -8,6 +8,7 @@
     codec is therefore total on the whole 63-bit int range. *)
 
 val add_varint : Buffer.t -> int -> unit
+(** Append one int's LEB128 bit-pattern encoding (1–9 bytes). *)
 
 (** [get_varint b pos] decodes one varint at [pos]; returns the value and
     the position just past it. *)

@@ -23,3 +23,5 @@ val of_system : ('a, 'v, 's) Cimp.System.t -> t
 val encode : t -> Cimp.System.event -> int
 
 val decode : t -> int -> Cimp.System.event
+(** Inverse of {!encode} for ints {!encode} produced; the label interner
+    resolves indices back to labels. *)

@@ -29,12 +29,16 @@ type entry = {
 type t
 
 val path : t -> string
+(** The segment's file path. *)
+
 val shard : t -> int
+(** The store shard this segment was frozen from. *)
 
 (** Freeze sequence number within the shard; higher = newer. *)
 val seq : t -> int
 
 val length : t -> int
+(** Number of entries. *)
 
 (** Largest depth recorded in any entry's meta word at write time. *)
 val max_depth : t -> int
@@ -67,3 +71,5 @@ val find : t -> int -> entry option
 val iter : t -> (entry -> unit) -> unit
 
 val entries : t -> entry array
+(** All entries materialized as an array ({!iter} into a buffer) — for
+    merges and certificate loading, not the probe path. *)

@@ -550,6 +550,13 @@ let stats t =
 (* -- checkpoint support ---------------------------------------------------- *)
 
 let meta32_depth m = m land d32_mask
+let meta32_violation m = ((m lsr v32_shift) land v32_mask) - 1
+let meta32_expanded m = m land x32_bit <> 0
+let meta32_make ~depth ~violation =
+  if depth > d32_mask then invalid_arg "Tiered.meta32_make: depth too large";
+  if violation > max_violation_index then
+    invalid_arg "Tiered.meta32_make: violation index too large";
+  (depth land d32_mask) lor ((violation + 1) lsl v32_shift) lor x32_bit
 
 let tier0_dump t ~shard =
   let s = t.shards.(shard) in

@@ -34,6 +34,9 @@
 
 type t
 
+(** Verdict of an {!add}: [Fresh] (never seen), [Improved v] (seen, but
+    this path is shorter; [v] is the recorded violated-invariant index,
+    [-1] if none), or [Stale] (seen at an equal-or-shorter depth). *)
 type add_result = Fresh | Improved of int | Stale
 
 (** Spill/merge/probe observation hooks (for tracing spans); they run
@@ -45,6 +48,7 @@ type hooks = {
 }
 
 val no_hooks : hooks
+(** Hooks that do nothing (the default). *)
 
 type stats = {
   spills : int;  (** shard freezes performed *)
@@ -63,6 +67,8 @@ type stats = {
 }
 
 val n_shards : int
+(** Number of independently-locked shards (64); fingerprints are
+    distributed by their low bits. *)
 
 (** Bytes per tier-0 entry (4 words). *)
 val entry_bytes : int
@@ -81,11 +87,14 @@ val create :
   ?shard_cap:int -> ?mem_budget:int -> ?spill_dir:string -> ?merge_fanout:int -> unit -> t
 
 val set_hooks : t -> hooks -> unit
+(** Install observation hooks (replacing {!no_hooks}); call before
+    concurrent use begins. *)
 
 (** The armed spill directory, if any. *)
 val spill_dir : t -> string option
 
 val mem_budget : t -> int
+(** The armed resident-byte budget, 0 when spilling is off. *)
 
 (** [add t fp ~parent ~event ~depth]: [Fresh] if [fp] is in neither
     tier, [Improved v] if present with a larger depth stamp (the triple
@@ -108,6 +117,7 @@ val begin_expand : t -> int -> depth:int -> [ `Stale | `First of int | `Again of
 val find : t -> int -> (int * int) option
 
 val depth_of : t -> int -> int option
+(** Current depth stamp of a present fingerprint. *)
 
 (** Distinct states stored (both tiers; shadow copies not counted). *)
 val count : t -> int
@@ -120,12 +130,16 @@ val capacity : t -> int
 val max_depth : t -> int
 
 val locks : t -> Obs.Contention.lock array
+(** The per-shard instrumented locks, for contention attribution. *)
 
 (** Racy sums, safe to read concurrently (heartbeat gauges). *)
 val resident_bytes : t -> int
 
 val resident_bytes_per_shard : t -> int array
+(** Racy per-shard occupancy gauges (heartbeat [bytes_resident.NN]). *)
+
 val stats : t -> stats
+(** Racy counter snapshot ({!type:stats}); exact once quiescent. *)
 
 (** {1 Checkpoint support} — callers must guarantee quiescence (all
     workers parked); these take the shard locks but snapshot multi-shard
@@ -133,6 +147,20 @@ val stats : t -> stats
 
 (** Depth stamp carried by a segment-layout (32-bit) meta word. *)
 val meta32_depth : int -> int
+
+val meta32_violation : int -> int
+(** Violated-invariant index carried by a segment-layout meta word, [-1]
+    if the state violates no invariant (the slot stores [index + 1]). *)
+
+val meta32_expanded : int -> bool
+(** Expanded bit of a segment-layout meta word: the state's successors
+    were generated (a closed run has it set on every entry). *)
+
+val meta32_make : depth:int -> violation:int -> int
+(** Pack a segment-layout meta word with the expanded bit set, for
+    certificate writers that synthesize entries outside any store
+    ([violation] is an index, [-1] for none).  Raises [Invalid_argument]
+    if either field overflows its slot. *)
 
 (** Tier-0 contents of one shard, sorted by fingerprint, meta packed to
     the 32-bit segment layout. *)

@@ -1,0 +1,234 @@
+(* Tests for the certifying checker (lib/certify): certificate
+   round-trips through both producers (jobs=1 store dump, jobs>1
+   deterministic sweep) under reduce none/all, byte-determinism across
+   producers, certdiff, and the adversarial tamper cases — a tampered
+   certificate must fail closed with a diagnostic naming the offending
+   fingerprint or header field, never validate. *)
+
+let sc =
+  Core.Scenario.make ~label:"cert-test" ~n_muts:1 ~n_refs:2 ~max_mut_ops:1 ~shape:"single" ()
+
+let cfg = sc.Core.Scenario.cfg
+let config_hash = Core.Config.hash cfg
+let invariants = Core.Scenario.invariants sc
+let initial () = (Core.Scenario.model sc).Core.Model.system
+let reducer_of mode = Core.Reduction.reducer cfg mode
+let run_config = Obs.Json.Obj [ ("test", Obs.Json.String "cert-test") ]
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "gccert-test-%d-%d" (Unix.getpid ()) !n)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let ok_or_fail what = function Ok v -> v | Error e -> Alcotest.fail (what ^ ": " ^ e)
+
+(* Produce a certificate the way `gcmodel explore --jobs N` does: N=1
+   dumps the explorer's own store (FIFO BFS, stamps are BFS distances),
+   N>1 re-derives the table with the deterministic sweep. *)
+let make_cert ~jobs ~mode dir =
+  let reducer = reducer_of mode in
+  let entries, max_depth =
+    if jobs <= 1 then begin
+      let dump = ref None in
+      let on_store st = dump := Some (Certify.Writer.of_store st) in
+      let o = Check.Par_explore.run ~jobs:1 ~on_store ?reducer ~invariants (initial ()) in
+      Alcotest.(check bool) "run closed without violation" true
+        ((not o.Check.Explore.truncated) && o.Check.Explore.violation = None);
+      match !dump with
+      | None -> Alcotest.fail "on_store never fired"
+      | Some r -> ok_or_fail "of_store" r
+    end
+    else begin
+      let o = Check.Par_explore.run ~jobs ?reducer ~invariants (initial ()) in
+      Alcotest.(check bool) "parallel run closed without violation" true
+        ((not o.Check.Explore.truncated) && o.Check.Explore.violation = None);
+      ok_or_fail "sweep" (Certify.Recheck.sweep ~reducer ~invariants (initial ()))
+    end
+  in
+  ok_or_fail "write"
+    (Certify.Writer.write ~dir ~config_hash ~reduce:(Reduce.Mode.to_string mode)
+       ~invariant_names:(List.map fst invariants) ~run_config ~max_depth entries)
+
+let validate ?(hash = config_hash) ~mode dir =
+  Certify.Recheck.validate ~reducer:(reducer_of mode) ~invariants ~config_hash:hash ~dir
+    (initial ())
+
+(* -- Round-trips: both producers x reduce none/all ------------------------- *)
+
+let round_trip ~jobs ~mode () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let h = make_cert ~jobs ~mode dir in
+  let h', st = ok_or_fail "validate" (validate ~mode dir) in
+  Alcotest.(check int) "validated exactly the header's states" h.Certify.Certificate.states
+    st.Certify.Recheck.states;
+  Alcotest.(check int) "same max depth" h.Certify.Certificate.max_depth
+    st.Certify.Recheck.max_depth;
+  Alcotest.(check string) "header read back" h.Certify.Certificate.table_digest
+    h'.Certify.Certificate.table_digest;
+  Alcotest.(check bool) "some transitions were re-derived" true
+    (st.Certify.Recheck.transitions > 0)
+
+(* A wrong reduction mode at validation time is a header mismatch, not a
+   crash: the certificate asserts closure of the *reduced* relation. *)
+let test_mode_is_part_of_the_claim () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let _h = make_cert ~jobs:1 ~mode:Reduce.Mode.All dir in
+  match validate ~mode:Reduce.Mode.None_ dir with
+  | Ok _ -> Alcotest.fail "validated under the wrong reduction mode"
+  | Error e ->
+    Alcotest.(check bool) ("names the reduce field: " ^ e) true
+      (contains ~sub:"\"reduce\"" e)
+
+(* -- Determinism: both producers emit byte-identical tables ---------------- *)
+
+let test_producers_agree_bytewise () =
+  let da = fresh_dir () and db = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf da; rm_rf db) @@ fun () ->
+  let ha = make_cert ~jobs:1 ~mode:Reduce.Mode.All da in
+  let hb = make_cert ~jobs:4 ~mode:Reduce.Mode.All db in
+  Alcotest.(check string) "table digests agree across producers"
+    ha.Certify.Certificate.table_digest hb.Certify.Certificate.table_digest;
+  let d = ok_or_fail "certdiff" (Certify.Diff.run da db) in
+  Alcotest.(check bool) "certdiff sees identical certificates" true (Certify.Diff.identical d)
+
+let test_certdiff_reports_differences () =
+  let da = fresh_dir () and db = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf da; rm_rf db) @@ fun () ->
+  let _ = make_cert ~jobs:1 ~mode:Reduce.Mode.All da in
+  let _ = make_cert ~jobs:1 ~mode:Reduce.Mode.None_ db in
+  let d = ok_or_fail "certdiff" (Certify.Diff.run da db) in
+  Alcotest.(check bool) "different reductions are not identical" false
+    (Certify.Diff.identical d);
+  Alcotest.(check bool) "the reduce header delta is reported" true
+    (List.exists (fun (f, _, _) -> f = "reduce") d.Certify.Diff.header_deltas)
+
+(* -- Adversarial certificates: each tamper fails closed, naming the
+      offender ------------------------------------------------------------- *)
+
+let with_cert f () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let h = make_cert ~jobs:1 ~mode:Reduce.Mode.All dir in
+  f dir h
+
+let expect_fail ~what ~subs dir =
+  match validate ~mode:Reduce.Mode.All dir with
+  | Ok _ -> Alcotest.fail (what ^ ": tampered certificate validated")
+  | Error e ->
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: diagnostic %S mentions %S" what e sub)
+          true (contains ~sub e))
+      subs
+
+let test_bit_flip =
+  with_cert @@ fun dir _h ->
+  let path = Certify.Certificate.table_path dir in
+  let bytes = In_channel.with_open_bin path In_channel.input_all |> Bytes.of_string in
+  let i = Bytes.length bytes / 2 in
+  Bytes.set bytes i (Char.chr (Char.code (Bytes.get bytes i) lxor 0x10));
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_bytes oc bytes);
+  expect_fail ~what:"bit flip" ~subs:[ "table.seg"; "digest mismatch" ] dir
+
+let test_truncated_table =
+  with_cert @@ fun dir _h ->
+  let path = Certify.Certificate.table_path dir in
+  let bytes = In_channel.with_open_bin path In_channel.input_all in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub bytes 0 (String.length bytes / 2)));
+  expect_fail ~what:"truncation" ~subs:[ "table.seg"; "digest mismatch" ] dir
+
+let test_dropped_obligation =
+  with_cert @@ fun dir h ->
+  let weakened =
+    {
+      h with
+      Certify.Certificate.obligations =
+        List.filter (fun ob -> ob <> "closure") h.Certify.Certificate.obligations;
+    }
+  in
+  Certify.Certificate.write_header ~dir weakened;
+  expect_fail ~what:"dropped obligation"
+    ~subs:[ "missing closure obligation"; "\"obligations\"" ]
+    dir
+
+let test_wrong_config_header =
+  with_cert @@ fun dir h ->
+  let other =
+    Core.Config.hash { cfg with Core.Config.n_refs = cfg.Core.Config.n_refs + 1 }
+  in
+  Certify.Certificate.write_header ~dir { h with Certify.Certificate.config_hash = other };
+  expect_fail ~what:"wrong config" ~subs:[ "\"config_hash\""; "different instance" ] dir
+
+(* Dropping a table entry past the digest (rewriting table + header
+   consistently) must still fail: the entry's parent regenerates it as a
+   successor and the membership probe misses.  This is the case the
+   digest alone cannot catch — the semantic closure check does. *)
+let test_dropped_entry =
+  with_cert @@ fun dir h ->
+  let table = Certify.Certificate.table_path dir in
+  let entries = Store.Segment.entries (Store.Segment.load table) in
+  (* drop the deepest entry: never the root, and its parent's closure
+     check must regenerate it *)
+  let victim = ref 0 in
+  Array.iteri
+    (fun i e ->
+      if
+        Store.Tiered.meta32_depth e.Store.Segment.meta
+        > Store.Tiered.meta32_depth entries.(!victim).Store.Segment.meta
+      then victim := i)
+    entries;
+  let kept = Array.of_list (List.filteri (fun i _ -> i <> !victim) (Array.to_list entries)) in
+  let max_depth =
+    Array.fold_left
+      (fun d e -> max d (Store.Tiered.meta32_depth e.Store.Segment.meta))
+      0 kept
+  in
+  Sys.remove table;
+  let (_ : Store.Segment.t) = Store.Segment.write ~path:table ~shard:0 ~seq:0 ~max_depth kept in
+  Certify.Certificate.write_header ~dir
+    {
+      h with
+      Certify.Certificate.states = Array.length kept;
+      max_depth;
+      table_digest = Certify.Certificate.digest_table dir;
+    };
+  expect_fail ~what:"dropped entry" ~subs:[ "closure miss" ] dir
+
+let suite =
+  [
+    Alcotest.test_case "round-trip (store dump, reduce all)" `Quick
+      (round_trip ~jobs:1 ~mode:Reduce.Mode.All);
+    Alcotest.test_case "round-trip (store dump, reduce none)" `Quick
+      (round_trip ~jobs:1 ~mode:Reduce.Mode.None_);
+    Alcotest.test_case "round-trip (jobs=4 sweep, reduce all)" `Quick
+      (round_trip ~jobs:4 ~mode:Reduce.Mode.All);
+    Alcotest.test_case "round-trip (jobs=4 sweep, reduce none)" `Quick
+      (round_trip ~jobs:4 ~mode:Reduce.Mode.None_);
+    Alcotest.test_case "reduce mode is part of the claim" `Quick test_mode_is_part_of_the_claim;
+    Alcotest.test_case "producers emit byte-identical tables" `Quick
+      test_producers_agree_bytewise;
+    Alcotest.test_case "certdiff reports header + entry deltas" `Quick
+      test_certdiff_reports_differences;
+    Alcotest.test_case "tamper: bit-flipped table byte" `Quick test_bit_flip;
+    Alcotest.test_case "tamper: truncated table" `Quick test_truncated_table;
+    Alcotest.test_case "tamper: dropped obligation" `Quick test_dropped_obligation;
+    Alcotest.test_case "tamper: wrong-config header" `Quick test_wrong_config_header;
+    Alcotest.test_case "tamper: dropped entry behind a valid digest" `Quick test_dropped_entry;
+  ]

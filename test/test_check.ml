@@ -297,6 +297,7 @@ let test_par_empty_frontier_after_reduction () =
       Check.Reducer.name = "collapse-all";
       fingerprint = Check.Fingerprint.of_system;
       successors = (fun _ -> []);
+      canon_state = Fun.id;
       sym_permuted = Atomic.make 0;
       reg_nulled = Atomic.make 0;
       deferred = Atomic.make 0;

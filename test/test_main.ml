@@ -17,4 +17,5 @@ let () =
       ("explain", Test_explain.suite);
       ("mutate", Test_mutate.suite);
       ("store", Test_store.suite);
+      ("certify", Test_certify.suite);
     ]

@@ -233,7 +233,12 @@ let test_docs_match_generators () =
   Alcotest.(check bool)
     "docs/VARIANTS.md matches `gcmodel doc-variants` (regenerate if you changed the catalogues)"
     true
-    (read_doc "VARIANTS.md" = Mutate.Doc_gen.variants_md ())
+    (read_doc "VARIANTS.md" = Mutate.Doc_gen.variants_md ());
+  Alcotest.(check bool)
+    "docs/CERTIFICATES.md matches `gcmodel doc-certificates` (regenerate if you changed the \
+     format)"
+    true
+    (read_doc "CERTIFICATES.md" = Mutate.Doc_gen.certificates_md ())
 
 let test_manuals_cover_the_catalogues () =
   let inv_md = Mutate.Doc_gen.invariants_md () in
